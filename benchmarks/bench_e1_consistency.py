@@ -1,0 +1,72 @@
+"""E.1 / Figure 6 — Profiling consistency across sampling rates.
+
+Top panel: total CPU operations per (iteration count, sampling rate) —
+the paper reports "very consistent values for consumed CPU operations"
+independent of the rate, linear in problem size.
+
+Bottom panel: profiled resident memory — "underestimated by the profiler
+for sample rates that allow only one data sample to be taken over the
+course of the application runtime; for multiple samples, the measures
+quickly stabilize".
+"""
+
+from __future__ import annotations
+
+from conftest import report
+from harness import E1_RATES, profile_app
+
+from repro.util.tables import Table
+
+SIZES = (10_000, 50_000, 100_000, 500_000, 1_000_000)
+REPEATS = 3
+
+
+def compute_fig6():
+    operations: dict[tuple[int, float], float] = {}
+    rss: dict[tuple[int, float], float] = {}
+    for size in SIZES:
+        for rate in E1_RATES:
+            ops_values, rss_values = [], []
+            for repeat in range(REPEATS):
+                prof = profile_app("thinkie", size, rate=rate, repeat=repeat)
+                totals = prof.totals()
+                ops_values.append(totals["cpu.instructions"])
+                rss_values.append(totals.get("mem.rss", 0.0))
+            operations[(size, rate)] = sum(ops_values) / len(ops_values)
+            rss[(size, rate)] = sum(rss_values) / len(rss_values)
+    return operations, rss
+
+
+def test_fig6_profiling_consistency(benchmark):
+    operations, rss = benchmark.pedantic(compute_fig6, rounds=1, iterations=1)
+
+    top = Table(
+        ["iterations"] + [f"{rate}Hz" for rate in E1_RATES] + ["spread %"],
+        title="Fig 6 (top): CPU operations vs sampling rate (thinkie)",
+    )
+    for size in SIZES:
+        values = [operations[(size, rate)] for rate in E1_RATES]
+        spread = 100.0 * (max(values) - min(values)) / min(values)
+        top.add_row([size] + values + [spread])
+
+    bottom = Table(
+        ["iterations"] + [f"{rate}Hz" for rate in E1_RATES],
+        title="Fig 6 (bottom): profiled resident memory [bytes] vs rate",
+    )
+    for size in SIZES:
+        bottom.add_row([size] + [rss[(size, rate)] for rate in E1_RATES])
+
+    report("Fig 6: Profiling consistency (E.1)", top.render() + "\n\n" + bottom.render())
+
+    # Top: operations independent of rate (< 1% spread), linear in size.
+    for size in SIZES:
+        values = [operations[(size, rate)] for rate in E1_RATES]
+        assert (max(values) - min(values)) / min(values) < 0.01
+    assert operations[(1_000_000, 1.0)] > 5 * operations[(100_000, 1.0)]
+
+    # Bottom: short runs at low rates under-report RSS; high rates don't.
+    short = SIZES[0]  # Tx ~ 0.5 s: one sample at <=1 Hz
+    assert rss[(short, 0.1)] < 0.7 * rss[(short, 10.0)]
+    # Long runs are rate-insensitive (many samples at any rate).
+    long = SIZES[-1]
+    assert rss[(long, 0.1)] > 0.9 * rss[(long, 10.0)]

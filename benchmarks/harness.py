@@ -1,0 +1,99 @@
+"""Shared experiment harness used by the per-figure benchmarks.
+
+All benchmarks run on the simulation plane with deterministic noise:
+``repeat`` indices seed independent draws, so means and confidence
+intervals are reproducible run-to-run (the paper's E.3 reports 99 % CIs
+over repeated runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import GromacsModel
+from repro.core.api import emulate, profile
+from repro.core.config import SynapseConfig
+from repro.core.emulator import EmulationResult
+from repro.core.samples import Profile
+from repro.sim.backend import SimBackend
+
+#: Iteration sweep of E.1/E.2 (Fig 4-7).
+E1_SIZES = (10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000)
+#: Sampling-rate sweep of E.1 (Fig 4/6).
+E1_RATES = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
+#: Iteration sweep of E.3 (Fig 8-11) — the paper's sizes plus two larger
+#: points that show convergence past our (smaller) app's startup regime.
+E3_SIZES = (1_000, 5_000, 10_000, 25_000, 50_000, 75_000, 100_000, 500_000, 1_000_000)
+
+
+def backend(machine: str, repeat: int = 0, noisy: bool = True) -> SimBackend:
+    """Deterministically seeded backend for one experiment repeat."""
+    return SimBackend(machine, noisy=noisy, seed=repeat)
+
+
+def run_app(machine: str, iterations: int, repeat: int = 0, threads: int = 1,
+            paradigm: str = "openmp") -> float:
+    """Native application execution; returns Tx."""
+    app = GromacsModel(iterations=iterations, threads=threads, paradigm=paradigm)
+    return backend(machine, repeat).spawn(app).duration
+
+
+def profile_app(
+    machine: str,
+    iterations: int,
+    rate: float = 1.0,
+    repeat: int = 0,
+) -> Profile:
+    """Profile one Gromacs run."""
+    return profile(
+        GromacsModel(iterations=iterations),
+        backend=backend(machine, repeat),
+        config=SynapseConfig(sample_rate=rate),
+    )
+
+
+def emulate_profile(
+    prof: Profile,
+    machine: str,
+    repeat: int = 0,
+    **config_kwargs,
+) -> EmulationResult:
+    """Emulate a profile on a (possibly different) machine."""
+    return emulate(
+        prof,
+        backend=backend(machine, repeat),
+        config=SynapseConfig(**config_kwargs),
+    )
+
+
+@dataclass(frozen=True)
+class Series:
+    """Mean and spread of repeated measurements."""
+
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def of(cls, values) -> "Series":
+        arr = np.asarray(list(values), dtype=float)
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            n=int(arr.size),
+        )
+
+    @property
+    def ci99(self) -> float:
+        from scipy import stats
+
+        if self.n < 2 or self.std == 0:
+            return 0.0
+        return float(stats.t.ppf(0.995, self.n - 1) * self.std / np.sqrt(self.n))
+
+
+def err_pct(reference: float, measured: float) -> float:
+    """Signed percentage difference of measured vs reference."""
+    return 100.0 * (measured - reference) / reference

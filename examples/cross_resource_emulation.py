@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Profile once, emulate anywhere — the AIMES middleware use case (§2.2).
+
+A Gromacs-like MD application is profiled *once* on the laptop-class
+``thinkie`` machine model, then emulated on every HPC machine of the
+paper.  For middleware development this replaces deploying Gromacs on
+five clusters with replaying one stored profile — and the emulated Tx
+tracks the application's cross-resource behaviour (E.2, Fig 7).
+
+Run:  python examples/cross_resource_emulation.py
+"""
+
+import repro as synapse
+from repro.apps import GromacsModel
+from repro.core.config import SynapseConfig
+from repro.sim import SimBackend, list_machines
+from repro.util.tables import Table
+
+ITERATIONS = 1_000_000
+MACHINES = ("thinkie", "stampede", "archer", "supermic", "comet", "titan")
+
+
+def main() -> None:
+    app = GromacsModel(iterations=ITERATIONS)
+
+    print(f"profiling {app.command()!r} on thinkie (1 Hz)...")
+    prof = synapse.profile(
+        app, backend=SimBackend("thinkie", seed=1), config=SynapseConfig(sample_rate=1.0)
+    )
+    print(f"  Tx = {prof.tx:.1f} s, {prof.n_samples} samples, "
+          f"{prof.totals()['cpu.cycles_used']:.3g} cycles\n")
+
+    table = Table(
+        ["machine", "app Tx [s]", "emulated Tx [s]", "diff %"],
+        title=f"one thinkie profile emulated across {len(MACHINES)} resources",
+    )
+    for machine in MACHINES:
+        app_tx = SimBackend(machine, seed=2).spawn(app).duration
+        result = synapse.emulate(prof, backend=SimBackend(machine, seed=3))
+        diff = (result.tx - app_tx) / app_tx * 100.0
+        table.add_row([machine, app_tx, result.tx, f"{diff:+.1f}"])
+    print(table.render())
+    print(
+        "\nThe emulation replays thinkie's cycle trace, so machines whose"
+        "\ncompiled application diverges from the laptop build (Stampede"
+        "\nfaster, Archer slower) show the systematic offsets of Fig 7 —"
+        "\nthe trend, not the absolute value, is what middleware tuning needs."
+    )
+    print(f"\n(available machine models: {', '.join(list_machines())})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""I/O-granularity tuning (E.5): filesystems and block sizes.
+
+Synapse's storage atom can direct a profiled application's I/O "toward
+any available filesystem ... and any combination of I/O granularity".
+This example profiles an I/O-heavy synthetic workload once, then replays
+it against Titan's local disk and Lustre at block sizes from 4 KB to
+64 MB — the Fig 15 sweep — showing how the same byte volume costs wildly
+different amounts of time.
+
+Run:  python examples/io_tuning.py
+"""
+
+import repro as synapse
+from repro.apps import SyntheticApp
+from repro.core.config import SynapseConfig
+from repro.sim import SimBackend
+from repro.util.tables import Table
+from repro.util.units import format_bytes
+
+VOLUME = 128 << 20
+
+
+def main() -> None:
+    app = SyntheticApp(
+        instructions=2e9,
+        bytes_read=VOLUME,
+        bytes_written=VOLUME,
+        io_block_size=1 << 20,
+        chunks=8,
+    )
+    prof = synapse.profile(
+        app,
+        backend=SimBackend("titan", seed=11),
+        config=SynapseConfig(sample_rate=2.0),
+    )
+    print(
+        f"profiled {format_bytes(VOLUME)} read + {format_bytes(VOLUME)} written "
+        f"(Tx={prof.tx:.2f} s on titan lustre)\n"
+    )
+
+    table = Table(
+        ["filesystem", "block size", "replay Tx [s]", "vs 1MB/local"],
+        title="the same profile replayed with tuned I/O (titan)",
+    )
+    reference = None
+    for fs in ("local", "lustre"):
+        for block_size in (4 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20):
+            config = SynapseConfig(
+                io_filesystem=fs,
+                io_block_size_read=block_size,
+                io_block_size_write=block_size,
+            )
+            result = synapse.emulate(
+                prof, backend=SimBackend("titan", seed=12), config=config
+            )
+            replay = result.tx - result.startup_delay
+            if reference is None:
+                reference = replay
+            table.add_row([fs, format_bytes(block_size), replay, replay / reference])
+    print(table.render())
+    print(
+        "\nsmall blocks pay per-request latency thousands of times over;"
+        "\nthe shared Lustre mount amplifies that by an order of magnitude —"
+        "\nexactly the tunability E.5 demonstrates."
+    )
+
+
+if __name__ == "__main__":
+    main()

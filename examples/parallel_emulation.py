@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""RADICAL-Pilot use case (§2.1): re-shaping a task's parallelism.
+
+A pilot system's agent must be tested against MPI and OpenMP tasks of
+every width — but the profiled science application may only exist as a
+single-core build.  Synapse emulates the single-core profile with any
+parallelism (E.4): here a one-core Gromacs profile is replayed as
+OpenMP- and MPI-parallel proxies across a Titan node, reproducing the
+Fig 12 scaling curves.
+
+Run:  python examples/parallel_emulation.py
+"""
+
+import repro as synapse
+from repro.apps import GromacsModel
+from repro.core.config import SynapseConfig
+from repro.sim import SimBackend
+from repro.util.tables import Table
+
+
+def main() -> None:
+    app = GromacsModel(iterations=1_000_000)
+    prof = synapse.profile(
+        app,
+        backend=SimBackend("titan", seed=5),
+        config=SynapseConfig(sample_rate=1.0),
+    )
+    print(
+        f"single-core profile: {prof.command!r}, Tx={prof.tx:.1f} s, "
+        f"{prof.totals()['cpu.cycles_used']:.3g} cycles\n"
+    )
+
+    table = Table(
+        ["cores", "OpenMP Tx [s]", "OpenMP speed-up", "MPI Tx [s]", "MPI speed-up"],
+        title="emulated parallel execution on titan (Fig 12)",
+    )
+    base = {}
+    for cores in (1, 2, 4, 8, 12, 16):
+        row = [cores]
+        for paradigm in ("openmp", "mpi"):
+            config = (
+                SynapseConfig(openmp_threads=cores)
+                if paradigm == "openmp"
+                else SynapseConfig(mpi_processes=cores)
+            )
+            result = synapse.emulate(
+                prof, backend=SimBackend("titan", seed=6), config=config
+            )
+            base.setdefault(paradigm, result.tx)
+            row.extend([result.tx, base[paradigm] / result.tx])
+        table.add_row(row)
+    print(table.render())
+    print(
+        "\nOpenMP outperforms MPI on Titan's Opterons; diminishing returns"
+        "\nappear well before the full node — the pilot agent can now be"
+        "\nstress-tested against this whole family of proxy tasks from one"
+        "\nsingle-core profile."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: profile a real workload on this machine, then emulate it.
+
+This is the paper's §4 basic usage, on the host plane:
+
+1. ``synapse.profile(target)`` spawns the target, watches it through
+   /proc-based watcher plugins, and produces a profile;
+2. the profile is stored in the embedded Mongo-like store, indexed by
+   command and tags;
+3. ``synapse.emulate(command, tags)`` looks the profile up and replays
+   it: the compute atom burns the recorded cycles through the default
+   ASM kernel, the memory atom mirrors the heap, the storage atom
+   re-issues the I/O.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import time
+
+# Keep the example's BLAS single-threaded so the recorded CPU time is
+# attributable (and the replay comparable) on any machine.
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+
+import repro as synapse
+from repro.core.config import SynapseConfig
+from repro.util.tables import Table
+from repro.util.units import format_bytes, format_duration
+
+
+def science_workload() -> None:
+    """A stand-in 'application': CPU burn, memory footprint, disk output."""
+    x = 1.0001
+    deadline = time.time() + 2.0
+    while time.time() < deadline:
+        for _ in range(20_000):
+            x = x * 1.0000001 + 1e-9
+    heap = bytearray(24 << 20)
+    heap[::4096] = b"\x01" * len(heap[::4096])
+    with open("/tmp/quickstart.out", "wb") as handle:
+        handle.write(b"\x42" * (8 << 20))
+
+
+def main() -> None:
+    store = synapse.MongoStore()
+    config = SynapseConfig(sample_rate=5.0)
+
+    print("profiling the workload (host plane, 5 Hz sampling)...")
+    prof = synapse.profile(
+        science_workload, tags={"case": "quickstart"}, config=config, store=store
+    )
+
+    table = Table(["metric", "value"], title="profile")
+    table.add_row(["command", prof.command])
+    table.add_row(["Tx", format_duration(prof.tx)])
+    table.add_row(["samples", prof.n_samples])
+    totals = prof.totals()
+    table.add_row(["CPU cycles", f"{totals.get('cpu.cycles_used', 0):.3g}"])
+    table.add_row(["peak RSS", format_bytes(totals.get("mem.peak", 0))])
+    table.add_row(["bytes written", format_bytes(totals.get("io.bytes_written", 0))])
+    for name, value in sorted(prof.derived().items()):
+        table.add_row([f"{name} (derived)", f"{value:.3g}"])
+    print(table.render())
+
+    print("\nemulating the stored profile (ASM kernel)...")
+    result = synapse.emulate(
+        prof.command, tags={"case": "quickstart"}, store=store, config=config
+    )
+    diff = abs(result.tx - prof.tx) / prof.tx * 100.0
+    print(
+        f"emulated Tx = {format_duration(result.tx)} "
+        f"(application {format_duration(prof.tx)}, difference {diff:.1f}%)"
+    )
+    print(f"startup delay {format_duration(result.startup_delay)}; "
+          f"{len(result.sample_durations)} samples replayed in order")
+
+
+if __name__ == "__main__":
+    main()

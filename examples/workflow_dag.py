@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Application-Skeleton DAG composition (the paper's §7 integration).
+
+Application Skeletons (Katz et al.) describe workflows as DAGs of
+components; Synapse parameterises the individual components.  This
+example composes a bioinformatics-flavoured scatter/gather pipeline —
+stage-in, parallel analysis workers, merge, stage-out — profiles the
+whole DAG as one black box on Supermic, and replays it on Titan.
+
+Run:  python examples/workflow_dag.py
+"""
+
+import networkx as nx
+
+import repro as synapse
+from repro.apps import GromacsModel, SkeletonApp, SyntheticApp
+from repro.core.config import SynapseConfig
+from repro.sim import SimBackend
+from repro.util.tables import Table
+from repro.util.units import format_duration
+
+
+def build_pipeline(workers: int) -> SkeletonApp:
+    graph = nx.DiGraph()
+    graph.add_node("stage-in", app=SyntheticApp(bytes_read=256 << 20, chunks=4))
+    graph.add_node(
+        "merge", app=SyntheticApp(instructions=2e9, workload_class="app.generic", chunks=2)
+    )
+    graph.add_node("stage-out", app=SyntheticApp(bytes_written=128 << 20, chunks=4))
+    for index in range(workers):
+        node = f"analyse-{index}"
+        graph.add_node(node, app=GromacsModel(iterations=200_000))
+        graph.add_edge("stage-in", node)
+        graph.add_edge(node, "merge")
+    graph.add_edge("merge", "stage-out")
+    return SkeletonApp(graph=graph, name="bio-pipeline")
+
+
+def main() -> None:
+    table = Table(
+        ["workers", "generations", "Tx on supermic [s]"],
+        title="scatter/gather pipeline width sweep",
+    )
+    for workers in (1, 4, 8, 16):
+        skeleton = build_pipeline(workers)
+        handle = SimBackend("supermic", seed=workers).spawn(skeleton)
+        table.add_row([workers, skeleton.critical_path_length(), handle.duration])
+    print(table.render())
+    print("the worker generation runs concurrently: width is nearly free "
+          "until the node saturates.\n")
+
+    skeleton = build_pipeline(8)
+    prof = synapse.profile(
+        skeleton,
+        backend=SimBackend("supermic", seed=1),
+        config=SynapseConfig(sample_rate=2.0),
+    )
+    print(
+        f"profiled {prof.command!r} on supermic: Tx={format_duration(prof.tx)}, "
+        f"{prof.n_samples} samples"
+    )
+    # The black-box profile collapses the 8 concurrent workers into one
+    # cycle stream (§4.5's multithreading limitation); configuring the
+    # known width recovers the concurrency during replay.
+    config = SynapseConfig(openmp_threads=8)
+    for machine in ("supermic", "titan"):
+        serial = synapse.emulate(prof, backend=SimBackend(machine, seed=2))
+        widened = synapse.emulate(prof, backend=SimBackend(machine, seed=2), config=config)
+        print(
+            f"  emulated on {machine:9s}: serial replay {format_duration(serial.tx)}"
+            f", width-8 replay {format_duration(widened.tx)}"
+        )
+    print(
+        "\nthe DAG profiled as one black box replays anywhere — per-component"
+        "\ntuning (kernel, width, I/O granularity) composes with the skeleton."
+    )
+
+
+if __name__ == "__main__":
+    main()

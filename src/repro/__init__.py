@@ -1,0 +1,66 @@
+"""Synapse — SYNthetic Application Profiler and Emulator (reproduction).
+
+A faithful, laptop-runnable reproduction of *"Synapse: Synthetic
+Application Profiler and Emulator"* (Merzky, Ha, Turilli, Jha; IPPS 2016,
+arXiv:1808.00684).  Basic usage mirrors the paper's API::
+
+    import repro as synapse
+
+    profile = synapse.profile("sleep 1", store=store)
+    result  = synapse.emulate("sleep 1", store=store)
+
+and the simulation plane regenerates the paper's cross-machine
+experiments::
+
+    from repro.sim import SimBackend
+    from repro.apps import GromacsModel
+
+    backend = SimBackend("thinkie")
+    prof = synapse.profile(GromacsModel(iterations=100_000), backend=backend)
+    res  = synapse.emulate(prof, backend=SimBackend("stampede"))
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    EmulationPlan,
+    EmulationResult,
+    Emulator,
+    Profile,
+    Profiler,
+    ProfileStats,
+    Sample,
+    SynapseConfig,
+    SynapseError,
+    aggregate,
+    emulate,
+    error_percent,
+    profile,
+    stats,
+)
+from repro.storage import FileStore, MemoryStore, MongoStore, open_store
+
+__version__ = "0.10.0"
+
+__all__ = [
+    "EmulationPlan",
+    "EmulationResult",
+    "Emulator",
+    "FileStore",
+    "MemoryStore",
+    "MongoStore",
+    "Profile",
+    "ProfileStats",
+    "Profiler",
+    "Sample",
+    "SynapseConfig",
+    "SynapseError",
+    "__version__",
+    "aggregate",
+    "emulate",
+    "error_percent",
+    "open_store",
+    "profile",
+    "stats",
+]

@@ -1,0 +1,20 @@
+"""Profile analysis: dominance classification, phase detection, reports."""
+
+from repro.analysis.dominance import (
+    SampleDominance,
+    classify_profile,
+    classify_sample,
+    dominance_histogram,
+)
+from repro.analysis.phases import ProfilePhase, detect_phases
+from repro.analysis.report import profile_report
+
+__all__ = [
+    "ProfilePhase",
+    "SampleDominance",
+    "classify_profile",
+    "classify_sample",
+    "detect_phases",
+    "dominance_histogram",
+    "profile_report",
+]

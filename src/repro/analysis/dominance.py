@@ -1,0 +1,103 @@
+"""Per-sample dominant-resource classification (the Fig 2/3 notion).
+
+§4.4: "When a resource type fills a sampling period, one can expect that
+the application performance is dominated by the interactions with that
+resource type for that sample", and Fig 3 shows the dominating type
+*switching* when the same profile is replayed on different hardware.
+This module computes that classification programmatically: each sample's
+recorded consumption is converted to estimated busy time per resource on
+a given machine model, and the largest share wins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.samples import Profile, Sample
+from repro.sim.resource import MachineSpec
+
+__all__ = ["SampleDominance", "classify_sample", "classify_profile", "dominance_histogram"]
+
+RESOURCES = ("compute", "storage", "memory", "network", "idle")
+
+
+@dataclass(frozen=True)
+class SampleDominance:
+    """Busy-time attribution of one sample on one machine."""
+
+    index: int
+    shares: dict[str, float]
+
+    @property
+    def dominant(self) -> str:
+        """The resource with the largest busy-time share."""
+        return max(self.shares, key=lambda key: self.shares[key])
+
+    def share(self, resource: str) -> float:
+        """Busy-time fraction of one resource (0 when absent)."""
+        return self.shares.get(resource, 0.0)
+
+
+def _busy_times(sample: Sample, machine: MachineSpec, block_size: int) -> dict[str, float]:
+    times = {name: 0.0 for name in RESOURCES if name != "idle"}
+    cycles = max(sample.get("cpu.cycles_used"), 0.0)
+    if cycles:
+        times["compute"] = machine.cpu.seconds_for_cycles(cycles)
+    read = max(sample.get("io.bytes_read"), 0.0)
+    written = max(sample.get("io.bytes_written"), 0.0)
+    if read or written:
+        fs = machine.filesystem(None)
+        times["storage"] = fs.io_time(int(read), int(written), block_size)
+    allocated = max(sample.get("mem.allocated"), 0.0)
+    freed = max(sample.get("mem.freed"), 0.0)
+    if allocated or freed:
+        times["memory"] = machine.memory.alloc_time(
+            int(allocated), block_size
+        ) + machine.memory.free_time(int(freed), block_size)
+    net = max(sample.get("net.bytes_read"), 0.0) + max(
+        sample.get("net.bytes_written"), 0.0
+    )
+    if net:
+        times["network"] = net / machine.net_bandwidth
+    return times
+
+
+def classify_sample(
+    sample: Sample, machine: MachineSpec, block_size: int = 1 << 20
+) -> SampleDominance:
+    """Attribute one sample's interval to resources on ``machine``.
+
+    Unattributed interval time (latency hiding, sleeps, scheduling) is
+    reported as ``idle`` — the §4.5 semantics gap made visible.
+    """
+    times = _busy_times(sample, machine, block_size)
+    busy = sum(times.values())
+    interval = max(sample.dt, 1e-12)
+    shares = {name: value / interval for name, value in times.items()}
+    shares["idle"] = max(0.0, 1.0 - busy / interval)
+    return SampleDominance(index=sample.index, shares=shares)
+
+
+def classify_profile(
+    profile: Profile,
+    machine: MachineSpec | None = None,
+    block_size: int = 1 << 20,
+) -> list[SampleDominance]:
+    """Classify every sample of a profile.
+
+    ``machine=None`` resolves the machine the profile was recorded on
+    (by name, for sim-plane profiles), falling back to ``localhost``.
+    """
+    if machine is None:
+        from repro.sim.machines import MACHINES, get_machine  # noqa: PLC0415
+
+        name = str(profile.machine.get("name", ""))
+        machine = get_machine(name) if name in MACHINES else get_machine("localhost")
+    return [classify_sample(sample, machine, block_size) for sample in profile.samples]
+
+
+def dominance_histogram(classified: list[SampleDominance]) -> dict[str, int]:
+    """Count samples per dominant resource."""
+    counts = Counter(item.dominant for item in classified)
+    return {name: counts.get(name, 0) for name in RESOURCES}

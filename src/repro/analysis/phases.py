@@ -1,0 +1,113 @@
+"""Execution-phase detection from profile time series.
+
+Applications typically run through regimes — startup (input read, heap
+growth), main loop (steady compute), teardown (output flush, frees).
+The profiler sees only counters, but regime boundaries show up as
+change-points in per-sample consumption.  This detector segments a
+profile into contiguous phases by comparing consecutive samples'
+normalised resource vectors; it powers the ``synapse report`` CLI and
+gives middleware developers the stage structure the §2.3 use case needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.samples import Profile
+
+__all__ = ["ProfilePhase", "detect_phases"]
+
+#: Metrics forming the per-sample fingerprint vector.
+_FINGERPRINT = (
+    "cpu.cycles_used",
+    "io.bytes_read",
+    "io.bytes_written",
+    "mem.allocated",
+    "mem.freed",
+)
+
+
+@dataclass(frozen=True)
+class ProfilePhase:
+    """One detected contiguous regime of samples."""
+
+    start_index: int
+    end_index: int  # inclusive
+    start_time: float
+    duration: float
+    #: Mean normalised fingerprint of the phase's samples.
+    fingerprint: dict[str, float]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in the phase."""
+        return self.end_index - self.start_index + 1
+
+    @property
+    def dominant_metric(self) -> str:
+        """The fingerprint component with the largest share."""
+        if not self.fingerprint:
+            return "idle"
+        best = max(self.fingerprint, key=lambda key: self.fingerprint[key])
+        return best if self.fingerprint[best] > 0 else "idle"
+
+
+def _fingerprints(profile: Profile) -> np.ndarray:
+    rows = np.array(
+        [
+            [max(sample.get(name), 0.0) for name in _FINGERPRINT]
+            for sample in profile.samples
+        ]
+    )
+    if rows.size == 0:
+        return rows
+    # Normalise each metric column to its own maximum so heterogeneous
+    # units (cycles vs bytes) become comparable shares.
+    maxima = rows.max(axis=0)
+    maxima[maxima == 0] = 1.0
+    return rows / maxima
+
+
+def detect_phases(profile: Profile, threshold: float = 0.35) -> list[ProfilePhase]:
+    """Segment a profile into phases at fingerprint change-points.
+
+    ``threshold`` is the L1 distance between consecutive normalised
+    fingerprints above which a new phase starts; lower values split more
+    aggressively.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    samples = profile.samples
+    if not samples:
+        return []
+    vectors = _fingerprints(profile)
+    boundaries = [0]
+    for index in range(1, len(samples)):
+        distance = float(np.abs(vectors[index] - vectors[index - 1]).sum())
+        if distance > threshold:
+            boundaries.append(index)
+    boundaries.append(len(samples))
+
+    phases: list[ProfilePhase] = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        chunk = vectors[start:end]
+        mean = chunk.mean(axis=0)
+        total = float(mean.sum())
+        fingerprint = {
+            name: (float(value) / total if total > 0 else 0.0)
+            for name, value in zip(_FINGERPRINT, mean)
+        }
+        phases.append(
+            ProfilePhase(
+                start_index=samples[start].index,
+                end_index=samples[end - 1].index,
+                start_time=samples[start].t,
+                duration=float(
+                    samples[end - 1].t + samples[end - 1].dt - samples[start].t
+                ),
+                fingerprint=fingerprint,
+            )
+        )
+    return phases

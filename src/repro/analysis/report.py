@@ -1,0 +1,74 @@
+"""Human-readable profile reports (totals + dominance + phases).
+
+Combines the analysis passes into one text report, used by the
+``synapse report`` CLI command and handy when deciding which emulation
+kernel / tunables will represent an application best (the judgement call
+E.3 asks users to make: "implementing application specific kernels
+requires ... understanding of the profiler data measured for that
+application").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dominance import classify_profile, dominance_histogram
+from repro.analysis.phases import detect_phases
+from repro.core.samples import Profile
+from repro.sim.resource import MachineSpec
+from repro.util.tables import Table
+from repro.util.units import format_bytes, format_duration
+
+__all__ = ["profile_report"]
+
+
+def profile_report(profile: Profile, machine: MachineSpec | None = None) -> str:
+    """Render a multi-section analysis report for one profile."""
+    sections: list[str] = []
+
+    header = Table(["field", "value"], title="profile")
+    header.add_row(["command", profile.command])
+    header.add_row(["tags", ",".join(profile.tags) or "-"])
+    header.add_row(["machine", profile.machine.get("name", "?")])
+    header.add_row(["Tx", format_duration(profile.tx)])
+    header.add_row(["samples", f"{profile.n_samples} @ {profile.sample_rate} Hz"])
+    header.add_row(["truncated", profile.truncated])
+    sections.append(header.render())
+
+    totals = profile.totals()
+    totals_table = Table(["metric", "total"], title="totals")
+    for name in sorted(totals):
+        value = totals[name]
+        if name.startswith(("io.", "mem.", "sys.memory")):
+            totals_table.add_row([name, format_bytes(value)])
+        elif name.startswith("time."):
+            totals_table.add_row([name, format_duration(value)])
+        else:
+            totals_table.add_row([name, value])
+    for name, value in sorted(profile.derived().items()):
+        totals_table.add_row([f"{name} (derived)", value])
+    sections.append(totals_table.render())
+
+    classified = classify_profile(profile, machine)
+    histogram = dominance_histogram(classified)
+    dom_table = Table(["resource", "dominant in samples"], title="sample dominance")
+    for resource, count in histogram.items():
+        dom_table.add_row([resource, count])
+    sections.append(dom_table.render())
+
+    phases = detect_phases(profile)
+    phase_table = Table(
+        ["phase", "samples", "start", "duration", "dominant metric"],
+        title="detected phases",
+    )
+    for number, phase in enumerate(phases):
+        phase_table.add_row(
+            [
+                number,
+                f"{phase.start_index}-{phase.end_index}",
+                format_duration(phase.start_time),
+                format_duration(phase.duration),
+                phase.dominant_metric,
+            ]
+        )
+    sections.append(phase_table.render())
+
+    return "\n\n".join(sections)

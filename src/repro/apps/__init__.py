@@ -1,0 +1,34 @@
+"""Virtual application models for the simulation plane.
+
+* :class:`~repro.apps.gromacs.GromacsModel` — the paper's validation
+  application (E.1–E.4);
+* :class:`~repro.apps.synthetic.SyntheticApp` — fully tunable proxy
+  workload (E.5 and the §2 use cases);
+* :class:`~repro.apps.sleeper.SleeperApp` — the sleep(3) semantics
+  limitation (§4.5);
+* :class:`~repro.apps.ensemble.EnsembleApp` — staged ensemble workload
+  (use case §2.3).
+"""
+
+from repro.apps.base import ApplicationModel
+from repro.apps.ensemble import EnsembleApp, EnsembleStage
+from repro.apps.gromacs import GromacsModel
+from repro.apps.registry import list_apps, parse_app, register_app
+from repro.apps.skeleton import SkeletonApp, chain, fan_out_fan_in
+from repro.apps.sleeper import SleeperApp
+from repro.apps.synthetic import SyntheticApp
+
+__all__ = [
+    "ApplicationModel",
+    "EnsembleApp",
+    "EnsembleStage",
+    "GromacsModel",
+    "SkeletonApp",
+    "SleeperApp",
+    "SyntheticApp",
+    "chain",
+    "fan_out_fan_in",
+    "list_apps",
+    "parse_app",
+    "register_app",
+]

@@ -1,0 +1,20 @@
+"""Emulation atoms: the emulation half of Synapse's architecture (Fig 1)."""
+
+from repro.atoms.base import AtomBase, AtomWork
+from repro.atoms.compute import ComputeAtom
+from repro.atoms.memory import MemoryAtom
+from repro.atoms.network import NetworkAtom
+from repro.atoms.registry import get_atom, list_atoms, register
+from repro.atoms.storage import StorageAtom
+
+__all__ = [
+    "AtomBase",
+    "AtomWork",
+    "ComputeAtom",
+    "MemoryAtom",
+    "NetworkAtom",
+    "StorageAtom",
+    "get_atom",
+    "list_atoms",
+    "register",
+]

@@ -1,0 +1,83 @@
+"""Emulation-atom protocol (§3.3 / §4.2 of the paper).
+
+An *atom* consumes one type of system resource.  The emulator's global
+loop feeds it one :class:`AtomWork` quantum per profile sample; on the
+host plane each atom runs in its own thread per sample so the different
+resource types are consumed concurrently, with a barrier at the sample
+boundary (Fig 2 semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SynapseConfig
+
+__all__ = ["AtomWork", "AtomBase"]
+
+
+@dataclass(frozen=True)
+class AtomWork:
+    """The per-sample resource quantum handed to the atoms.
+
+    One instance describes everything a single profile sample asks the
+    emulation to consume; each atom picks out its own fields.
+    """
+
+    cycles: float = 0.0
+    flops: float = 0.0
+    alloc_bytes: int = 0
+    free_bytes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    sent_bytes: int = 0
+    received_bytes: int = 0
+
+    def __add__(self, other: "AtomWork") -> "AtomWork":
+        return AtomWork(
+            cycles=self.cycles + other.cycles,
+            flops=self.flops + other.flops,
+            alloc_bytes=self.alloc_bytes + other.alloc_bytes,
+            free_bytes=self.free_bytes + other.free_bytes,
+            read_bytes=self.read_bytes + other.read_bytes,
+            write_bytes=self.write_bytes + other.write_bytes,
+            sent_bytes=self.sent_bytes + other.sent_bytes,
+            received_bytes=self.received_bytes + other.received_bytes,
+        )
+
+    @property
+    def empty(self) -> bool:
+        """Whether nothing at all is requested."""
+        return (
+            self.cycles == 0
+            and self.alloc_bytes == 0
+            and self.free_bytes == 0
+            and self.read_bytes == 0
+            and self.write_bytes == 0
+            and self.sent_bytes == 0
+            and self.received_bytes == 0
+        )
+
+
+class AtomBase:
+    """Base class of host-plane emulation atoms."""
+
+    #: Registry name (``"compute"``, ``"memory"``, ``"storage"``, ``"network"``).
+    name: str = "atom"
+
+    def __init__(self, config: SynapseConfig) -> None:
+        self.config = config
+
+    def setup(self) -> None:
+        """Allocate whatever the atom needs before the sample loop."""
+
+    def wants(self, work: AtomWork) -> bool:
+        """Whether this atom has anything to do for ``work``."""
+        raise NotImplementedError
+
+    def execute(self, work: AtomWork) -> None:
+        """Consume this atom's share of ``work`` (blocking)."""
+        raise NotImplementedError
+
+    def teardown(self) -> None:
+        """Release resources after the sample loop."""

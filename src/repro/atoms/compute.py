@@ -1,0 +1,49 @@
+"""Compute atom: consumes CPU cycles through a configurable kernel.
+
+The kernel choice (``SynapseConfig.compute_kernel``) is the E.3 fidelity
+knob; OpenMP threads / MPI processes (``openmp_threads`` /
+``mpi_processes``) are the E.4 parallelism knobs.  The cycle budget of a
+sample is *distributed* across parallel workers, not duplicated.
+"""
+
+from __future__ import annotations
+
+from repro.atoms.base import AtomBase, AtomWork
+from repro.core.config import SynapseConfig
+from repro.host.hostinfo import cpu_frequency
+from repro.kernels.registry import get_kernel
+from repro.parallel.mpi import consume_cycles_multiprocess
+from repro.parallel.openmp import consume_cycles_threaded
+
+__all__ = ["ComputeAtom"]
+
+
+class ComputeAtom(AtomBase):
+    """Burns the sample's cycle budget on the host CPU."""
+
+    name = "compute"
+
+    def __init__(self, config: SynapseConfig) -> None:
+        super().__init__(config)
+        self.kernel = get_kernel(config.compute_kernel)
+        self.frequency = cpu_frequency()
+
+    def setup(self) -> None:
+        # Calibrate before the loop (and before any fork) so per-sample
+        # work is a pure replay without measurement pauses.
+        self.kernel.calibrate(self.frequency)
+
+    def wants(self, work: AtomWork) -> bool:
+        return work.cycles > 0
+
+    def execute(self, work: AtomWork) -> None:
+        if self.config.mpi_processes > 1:
+            consume_cycles_multiprocess(
+                self.kernel, work.cycles, self.config.mpi_processes, self.frequency
+            )
+        elif self.config.openmp_threads > 1:
+            consume_cycles_threaded(
+                self.kernel, work.cycles, self.config.openmp_threads, self.frequency
+            )
+        else:
+            self.kernel.execute_cycles(work.cycles, self.frequency)

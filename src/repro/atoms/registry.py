@@ -1,0 +1,43 @@
+"""Emulation-atom registry ("atom implementations are interchangeable")."""
+
+from __future__ import annotations
+
+from repro.atoms.base import AtomBase
+from repro.atoms.compute import ComputeAtom
+from repro.atoms.memory import MemoryAtom
+from repro.atoms.network import NetworkAtom
+from repro.atoms.storage import StorageAtom
+from repro.core.errors import ConfigError
+
+__all__ = ["register", "get_atom", "list_atoms"]
+
+_REGISTRY: dict[str, type[AtomBase]] = {}
+
+
+def register(cls: type[AtomBase]) -> type[AtomBase]:
+    """Register an atom class under its ``name`` (usable as decorator)."""
+    if not issubclass(cls, AtomBase):
+        raise ConfigError(f"{cls!r} is not an AtomBase subclass")
+    if not cls.name or cls.name == "atom":
+        raise ConfigError("atom classes must define a unique 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_atom(name: str) -> type[AtomBase]:
+    """Resolve an atom class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown atom {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_atoms() -> list[str]:
+    """Names of all registered atoms."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (ComputeAtom, MemoryAtom, StorageAtom, NetworkAtom):
+    register(_cls)

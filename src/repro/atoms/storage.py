@@ -1,0 +1,95 @@
+"""Storage atom: canonical ``read``/``write`` emulation (§4.2, E.5).
+
+Writes append to (and reads stream from) scratch files under a
+configurable directory, in configurable block sizes — the two
+malleability dimensions E.5 exercises (target filesystem is selected by
+pointing the scratch directory at a mount; block sizes via
+``io_block_size_read`` / ``io_block_size_write``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.atoms.base import AtomBase, AtomWork
+from repro.core.config import SynapseConfig
+
+__all__ = ["StorageAtom"]
+
+
+class StorageAtom(AtomBase):
+    """Performs real file reads and writes in tunable blocks."""
+
+    name = "storage"
+
+    def __init__(self, config: SynapseConfig) -> None:
+        super().__init__(config)
+        self._dir: tempfile.TemporaryDirectory | None = None
+        self._write_path: str | None = None
+        self._read_path: str | None = None
+        self._read_offset = 0
+        self._read_size = 0
+
+    def setup(self) -> None:
+        base = self.config.extra.get("io_dir")
+        self._dir = tempfile.TemporaryDirectory(prefix="synapse-io-", dir=base)
+        self._write_path = os.path.join(self._dir.name, "out.dat")
+        self._read_path = os.path.join(self._dir.name, "in.dat")
+
+    def wants(self, work: AtomWork) -> bool:
+        return work.read_bytes > 0 or work.write_bytes > 0
+
+    def execute(self, work: AtomWork) -> None:
+        if self._dir is None:
+            self.setup()
+        if work.write_bytes > 0:
+            self._write(work.write_bytes)
+        if work.read_bytes > 0:
+            self._read(work.read_bytes)
+
+    def _write(self, nbytes: int) -> None:
+        block_size = int(self.config.io_block_size_write)
+        block = b"\x5a" * block_size
+        assert self._write_path is not None
+        with open(self._write_path, "ab") as handle:
+            remaining = nbytes
+            while remaining > 0:
+                chunk = block if remaining >= block_size else block[:remaining]
+                handle.write(chunk)
+                remaining -= len(chunk)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _ensure_readable(self, nbytes: int) -> None:
+        """Grow the scratch input file to cover the next read."""
+        assert self._read_path is not None
+        needed = self._read_offset + nbytes
+        if self._read_size >= needed:
+            return
+        block = b"\xa5" * (1 << 20)
+        with open(self._read_path, "ab") as handle:
+            while self._read_size < needed:
+                todo = min(len(block), needed - self._read_size)
+                handle.write(block[:todo])
+                self._read_size += todo
+
+    def _read(self, nbytes: int) -> None:
+        block_size = int(self.config.io_block_size_read)
+        self._ensure_readable(nbytes)
+        assert self._read_path is not None
+        with open(self._read_path, "rb") as handle:
+            handle.seek(self._read_offset)
+            remaining = nbytes
+            while remaining > 0:
+                data = handle.read(min(block_size, remaining))
+                if not data:
+                    handle.seek(0)
+                    continue
+                remaining -= len(data)
+        self._read_offset = (self._read_offset + nbytes) % max(self._read_size, 1)
+
+    def teardown(self) -> None:
+        if self._dir is not None:
+            self._dir.cleanup()
+            self._dir = None

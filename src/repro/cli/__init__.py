@@ -1,0 +1,5 @@
+"""Command-line tools wrapping the profile/emulate API (§4)."""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

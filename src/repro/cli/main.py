@@ -1,0 +1,355 @@
+"""The ``synapse`` command-line interface.
+
+The paper ships "a set of command line tools which are wrappers around
+certain configurations and combinations of the profile and emulate
+methods" (§4).  Subcommands:
+
+* ``synapse profile <command> [--tags k=v ...]`` — profile a shell
+  command on the host plane (or an app model on a simulated machine);
+* ``synapse emulate <command> [--tags ...]``     — replay a stored profile;
+* ``synapse list``                               — stored profile keys;
+* ``synapse show <command>``                     — totals + derived metrics;
+* ``synapse stats <command>``                    — multi-profile statistics;
+* ``synapse machines``                           — simulated machine models;
+* ``synapse metrics``                            — Table 1 metric inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.api import emulate as api_emulate
+from repro.core.api import profile as api_profile
+from repro.core.api import stats as api_stats
+from repro.core.config import SynapseConfig
+from repro.core.errors import ProfileNotFoundError
+from repro.core.metrics import table1_rows
+from repro.core.samples import Profile
+from repro.sim.machines import get_machine, list_machines
+from repro.storage import open_store
+from repro.util.tables import Table
+from repro.util.units import format_bytes, format_duration, format_frequency
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_STORE = "file://.synapse/profiles"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="synapse",
+        description="Synthetic application profiler and emulator (IPPS'16 reproduction)",
+    )
+    parser.add_argument(
+        "--store",
+        default=_DEFAULT_STORE,
+        help=f"profile store URL (default: {_DEFAULT_STORE})",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    p_profile = sub.add_parser("profile", help="profile a command")
+    p_profile.add_argument("command", help="shell command to profile")
+    p_profile.add_argument("--tags", nargs="*", default=[], help="tags (k=v)")
+    p_profile.add_argument("--rate", type=float, default=1.0, help="sample rate (Hz)")
+    p_profile.add_argument("--machine", default=None, help="simulated machine (sim plane)")
+    p_profile.add_argument("--repeats", type=int, default=1)
+
+    p_emulate = sub.add_parser("emulate", help="emulate a stored profile")
+    p_emulate.add_argument("command", help="stored command to emulate")
+    p_emulate.add_argument("--tags", nargs="*", default=[])
+    p_emulate.add_argument("--kernel", default="asm", help="compute kernel")
+    p_emulate.add_argument("--machine", default=None, help="simulated machine (sim plane)")
+    p_emulate.add_argument("--openmp", type=int, default=1, help="OpenMP threads")
+    p_emulate.add_argument("--mpi", type=int, default=1, help="MPI processes")
+
+    p_app = sub.add_parser(
+        "profile-app", help="profile a simulated application model"
+    )
+    p_app.add_argument("spec", help="app spec, e.g. gromacs:iterations=1000000")
+    p_app.add_argument("--machine", default="localhost", help="simulated machine")
+    p_app.add_argument("--tags", nargs="*", default=[])
+    p_app.add_argument("--rate", type=float, default=1.0)
+    p_app.add_argument("--repeats", type=int, default=1)
+
+    p_compare = sub.add_parser(
+        "compare", help="compare two stored profiles (e.g. app vs emulation)"
+    )
+    p_compare.add_argument("reference", help="reference command")
+    p_compare.add_argument("measured", help="measured command")
+    p_compare.add_argument("--reference-tags", nargs="*", default=[])
+    p_compare.add_argument("--measured-tags", nargs="*", default=[])
+
+    p_list = sub.add_parser("list", help="list stored profiles")
+    p_list.add_argument("--command", default=None)
+
+    p_show = sub.add_parser("show", help="show one stored profile")
+    p_show.add_argument("command")
+    p_show.add_argument("--tags", nargs="*", default=[])
+
+    p_stats = sub.add_parser("stats", help="statistics over stored repeats")
+    p_stats.add_argument("command")
+    p_stats.add_argument("--tags", nargs="*", default=[])
+
+    p_report = sub.add_parser("report", help="analysis report for a stored profile")
+    p_report.add_argument("command")
+    p_report.add_argument("--tags", nargs="*", default=[])
+
+    p_export = sub.add_parser("export", help="export a stored profile")
+    p_export.add_argument("command")
+    p_export.add_argument("--tags", nargs="*", default=[])
+    p_export.add_argument("--format", choices=("csv", "trace"), default="csv")
+    p_export.add_argument("--output", required=True, help="output file path")
+
+    sub.add_parser("machines", help="list simulated machine models")
+    sub.add_parser("metrics", help="print the Table 1 metric inventory")
+    sub.add_parser("kernels", help="list available compute kernels")
+    sub.add_parser("apps", help="list simulated application models")
+    return parser
+
+
+def _backend(machine: str | None):
+    if machine is None:
+        return None
+    from repro.sim.backend import SimBackend  # noqa: PLC0415 (lazy)
+
+    return SimBackend(machine)
+
+
+def _cmd_profile(args: argparse.Namespace, out) -> int:
+    store = open_store(args.store)
+    config = SynapseConfig(sample_rate=args.rate)
+    result = api_profile(
+        args.command,
+        tags=args.tags,
+        backend=_backend(args.machine),
+        config=config,
+        store=store,
+        repeats=args.repeats,
+    )
+    profiles = result if isinstance(result, list) else [result]
+    for profile in profiles:
+        print(
+            f"profiled {profile.command!r} tags={list(profile.tags)} "
+            f"Tx={format_duration(profile.tx)} samples={profile.n_samples}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_emulate(args: argparse.Namespace, out) -> int:
+    store = open_store(args.store)
+    config = SynapseConfig(
+        compute_kernel=args.kernel,
+        openmp_threads=args.openmp,
+        mpi_processes=args.mpi,
+    )
+    result = api_emulate(
+        args.command,
+        tags=args.tags,
+        backend=_backend(args.machine),
+        config=config,
+        store=store,
+    )
+    print(
+        f"emulated {args.command!r} on {result.backend}: "
+        f"Tx={format_duration(result.tx)} "
+        f"(startup {format_duration(result.startup_delay)}, "
+        f"kernel={config.compute_kernel})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_profile_app(args: argparse.Namespace, out) -> int:
+    from repro.apps.registry import parse_app  # noqa: PLC0415 (lazy)
+    from repro.sim.backend import SimBackend  # noqa: PLC0415
+
+    store = open_store(args.store)
+    app = parse_app(args.spec)
+    config = SynapseConfig(sample_rate=args.rate)
+    tags = dict(item.split("=", 1) for item in args.tags if "=" in item)
+    merged_tags = {**app.tags(), **tags}
+    result = api_profile(
+        app,
+        tags=merged_tags,
+        backend=SimBackend(args.machine),
+        config=config,
+        store=store,
+        repeats=args.repeats,
+    )
+    profiles = result if isinstance(result, list) else [result]
+    for profile in profiles:
+        print(
+            f"profiled {profile.command!r} on {args.machine} "
+            f"Tx={format_duration(profile.tx)} samples={profile.n_samples}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace, out) -> int:
+    from repro.core.compare import ProfileComparison  # noqa: PLC0415 (lazy)
+
+    store = open_store(args.store)
+    reference = store.find(args.reference, args.reference_tags)
+    measured = store.find(args.measured, args.measured_tags)
+    if not reference or not measured:
+        raise ProfileNotFoundError("no matching profiles to compare")
+    comparison = ProfileComparison.between(
+        reference,
+        measured,
+        reference_label=args.reference,
+        measured_label=args.measured,
+    )
+    print(comparison.table().render(), file=out)
+    print(f"max error: {comparison.max_error():.2f}%", file=out)
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace, out) -> int:
+    from repro.apps.registry import list_apps, parse_app  # noqa: PLC0415
+
+    table = Table(["name", "default command", "default tags"])
+    for name in list_apps():
+        app = parse_app(name)
+        table.add_row([name, app.command(), app.tags() or "-"])
+    print(table.render(), file=out)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace, out) -> int:
+    store = open_store(args.store)
+    table = Table(["command", "tags", "profiles"])
+    for command, tags, count in store.keys():
+        if args.command is not None and command != args.command:
+            continue
+        table.add_row([command, ",".join(tags) or "-", count])
+    print(table.render(), file=out)
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace, out) -> int:
+    store = open_store(args.store)
+    profile: Profile = store.get(args.command, args.tags)
+    print(f"command : {profile.command}", file=out)
+    print(f"tags    : {list(profile.tags)}", file=out)
+    print(f"machine : {profile.machine.get('name', '?')}", file=out)
+    print(f"samples : {profile.n_samples} @ {profile.sample_rate} Hz", file=out)
+    print(f"Tx      : {format_duration(profile.tx)}", file=out)
+    table = Table(["metric", "total"])
+    totals = profile.totals()
+    for name in sorted(totals):
+        table.add_row([name, totals[name]])
+    for name, value in sorted(profile.derived().items()):
+        table.add_row([f"{name} (derived)", value])
+    print(table.render(), file=out)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    store = open_store(args.store)
+    result = api_stats(args.command, args.tags, store=store)
+    print(result.table().render(), file=out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out) -> int:
+    from repro.analysis.report import profile_report  # noqa: PLC0415 (lazy)
+
+    store = open_store(args.store)
+    profile = store.get(args.command, args.tags)
+    print(profile_report(profile), file=out)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace, out) -> int:
+    store = open_store(args.store)
+    profile = store.get(args.command, args.tags)
+    if args.format == "csv":
+        from repro.export.csvout import profile_to_csv, write_csv  # noqa: PLC0415
+
+        write_csv(profile_to_csv(profile), args.output)
+    else:
+        from repro.export.trace import dump_trace, profile_to_trace  # noqa: PLC0415
+
+        dump_trace(profile_to_trace(profile), args.output)
+    print(
+        f"exported {profile.command!r} ({profile.n_samples} samples) "
+        f"as {args.format} to {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace, out) -> int:
+    table = Table(["name", "cores", "clock", "memory", "filesystems", "description"])
+    for name in list_machines():
+        machine = get_machine(name)
+        table.add_row(
+            [
+                name,
+                machine.cpu.cores,
+                format_frequency(machine.cpu.frequency),
+                format_bytes(machine.memory_bytes),
+                ",".join(sorted(machine.filesystems)),
+                machine.description,
+            ]
+        )
+    print(table.render(), file=out)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace, out) -> int:
+    table = Table(["Resource", "Metric", "Tot.", "Sampl.", "Der.", "Emul."])
+    for row in table1_rows():
+        table.add_row(row)
+    print(table.render(), file=out)
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace, out) -> int:
+    from repro.kernels.registry import get_kernel, list_kernels  # noqa: PLC0415
+
+    table = Table(["name", "workload class", "description"])
+    for name in list_kernels():
+        kernel = get_kernel(name)
+        table.add_row([name, kernel.workload_class, kernel.description])
+    print(table.render(), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "profile": _cmd_profile,
+    "profile-app": _cmd_profile_app,
+    "emulate": _cmd_emulate,
+    "compare": _cmd_compare,
+    "apps": _cmd_apps,
+    "list": _cmd_list,
+    "show": _cmd_show,
+    "stats": _cmd_stats,
+    "report": _cmd_report,
+    "export": _cmd_export,
+    "machines": _cmd_machines,
+    "metrics": _cmd_metrics,
+    "kernels": _cmd_kernels,
+}
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.subcommand]
+    try:
+        return handler(args, out)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Core library: profile/emulate API, data model, profiler, emulator."""
+
+from repro.core.api import emulate, profile, stats
+from repro.core.backend import ExecutionBackend, ProcessHandle
+from repro.core.compare import ComparisonRow, ProfileComparison
+from repro.core.config import SynapseConfig
+from repro.core.emulator import EmulationResult, Emulator
+from repro.core.errors import (
+    BackendError,
+    CalibrationError,
+    ConfigError,
+    DocumentTooLargeError,
+    EmulationError,
+    ProfileNotFoundError,
+    ProfilingError,
+    StoreError,
+    SynapseError,
+    WorkloadError,
+)
+from repro.core.metrics import REGISTRY, MetricKind, MetricSpec, Support, derive_metrics
+from repro.core.multiproc import combine_process_profiles
+from repro.core.plan import EmulationPlan, PlanSample
+from repro.core.profiler import Profiler
+from repro.core.samples import Profile, Sample
+from repro.core.sampling import AdaptiveRate, ConstantRate, SamplingPolicy
+from repro.core.statistics import MetricStats, ProfileStats, aggregate, error_percent
+
+__all__ = [
+    "AdaptiveRate",
+    "BackendError",
+    "CalibrationError",
+    "ComparisonRow",
+    "ConfigError",
+    "ConstantRate",
+    "DocumentTooLargeError",
+    "EmulationError",
+    "EmulationPlan",
+    "EmulationResult",
+    "Emulator",
+    "ExecutionBackend",
+    "MetricKind",
+    "MetricSpec",
+    "MetricStats",
+    "PlanSample",
+    "ProcessHandle",
+    "Profile",
+    "ProfileComparison",
+    "ProfileNotFoundError",
+    "ProfileStats",
+    "Profiler",
+    "ProfilingError",
+    "REGISTRY",
+    "Sample",
+    "SamplingPolicy",
+    "StoreError",
+    "Support",
+    "SynapseConfig",
+    "SynapseError",
+    "WorkloadError",
+    "aggregate",
+    "combine_process_profiles",
+    "derive_metrics",
+    "emulate",
+    "error_percent",
+    "profile",
+    "stats",
+]

@@ -1,0 +1,112 @@
+"""Public API: ``profile`` and ``emulate`` (§4 of the paper).
+
+The original module exposes::
+
+    radical.synapse.profile(command, tags=None)
+    radical.synapse.emulate(command, tags=None)
+
+This reproduction keeps those two calls (plus ``stats``) and generalises
+the target: a shell command string, a Python callable, or — on the
+simulation plane — an application model / workload, with the backend
+selecting the plane.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.base import ApplicationModel
+from repro.core.backend import ExecutionBackend
+from repro.core.config import SynapseConfig
+from repro.core.emulator import EmulationResult, Emulator
+from repro.core.errors import WorkloadError
+from repro.core.profiler import Profiler
+from repro.core.samples import Profile
+from repro.core.statistics import ProfileStats, aggregate
+from repro.core.tags import normalize_command, normalize_tags
+from repro.sim.workload import SimWorkload
+from repro.storage.base import ProfileStore
+
+__all__ = ["profile", "emulate", "stats", "default_backend_for"]
+
+
+def default_backend_for(target: Any) -> ExecutionBackend:
+    """Pick the natural backend for a profiling target.
+
+    Shell commands and Python callables run on the host plane;
+    application models and sim workloads need an explicit
+    :class:`~repro.sim.backend.SimBackend` (there is no default machine
+    to guess).
+    """
+    if isinstance(target, (str, list, tuple)) or callable(target):
+        from repro.host.backend import HostBackend  # noqa: PLC0415 (lazy)
+
+        return HostBackend()
+    raise WorkloadError(
+        f"no default backend for {type(target).__name__}; pass "
+        "backend=SimBackend(machine) for application models"
+    )
+
+
+def profile(
+    target: Any,
+    tags: object = None,
+    *,
+    backend: ExecutionBackend | None = None,
+    config: SynapseConfig | None = None,
+    store: ProfileStore | None = None,
+    command: str | None = None,
+    repeats: int = 1,
+) -> Profile | list[Profile]:
+    """Profile ``target``; returns one profile (or a list for repeats).
+
+    ``target`` is a shell command, Python callable, application model or
+    sim workload.  Profiles are written to ``store`` when given.  For
+    application models, command and tags default to the model's own
+    ``command()`` / ``tags()``.
+    """
+    if backend is None:
+        backend = default_backend_for(target)
+    if isinstance(target, ApplicationModel):
+        if command is None:
+            command = target.command()
+        if tags is None:
+            tags = target.tags()
+    elif isinstance(target, SimWorkload):
+        if command is None:
+            command = target.name
+    elif command is None:
+        command = normalize_command(target)
+    profiler = Profiler(backend, config=config, store=store)
+    if repeats == 1:
+        return profiler.run(target, tags=tags, command=command)
+    return profiler.run_repeats(target, repeats, tags=tags, command=command)
+
+
+def emulate(
+    source: Any,
+    tags: object = None,
+    *,
+    backend: ExecutionBackend | None = None,
+    config: SynapseConfig | None = None,
+    store: ProfileStore | None = None,
+) -> EmulationResult:
+    """Emulate a profile, plan, or stored command/tag combination.
+
+    With a string ``source`` the profile is looked up in ``store`` by
+    command and tags, exactly like the paper's ``emulate(command, tags)``.
+    Without a backend the emulation runs on the host plane.
+    """
+    emulator = Emulator(backend=backend, config=config, store=store)
+    return emulator.run(source, tags=tags)
+
+
+def stats(
+    command: Any,
+    tags: object = None,
+    *,
+    store: ProfileStore,
+) -> ProfileStats:
+    """Aggregate statistics over all stored profiles of one command/tags."""
+    profiles = store.find(normalize_command(command), normalize_tags(tags))
+    return aggregate(profiles)

@@ -1,0 +1,79 @@
+"""Execution backend protocol: the seam between planes.
+
+The profiler and the emulator are written once against these two
+interfaces; swapping the backend swaps the world underneath:
+
+* :class:`~repro.host.backend.HostBackend` — real processes on this
+  Linux machine, observed through ``/proc`` and ``getrusage`` (what the
+  original Synapse does);
+* :class:`~repro.sim.backend.SimBackend` — virtual processes on a
+  calibrated machine model with a virtual clock (how this reproduction
+  regenerates the paper's cross-machine experiments).
+
+A *process handle* exposes the black-box view both planes share: a pid,
+liveness, a snapshot of cumulative counters, and final rusage totals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+__all__ = ["ProcessHandle", "ExecutionBackend"]
+
+
+class ProcessHandle(ABC):
+    """Black-box view of one running (or finished) process."""
+
+    pid: int = -1
+
+    @abstractmethod
+    def alive(self) -> bool:
+        """Whether the process is still running."""
+
+    @abstractmethod
+    def wait(self) -> int:
+        """Block until the process exits; returns its exit code."""
+
+    @abstractmethod
+    def counters(self) -> dict[str, float]:
+        """Snapshot of cumulative counters / levels at the current time.
+
+        Keys are metric names from :mod:`repro.core.metrics`.  Watchers
+        never see anything else: this dict *is* the `/proc` + ``perf``
+        surface.
+        """
+
+    @abstractmethod
+    def rusage(self) -> dict[str, float]:
+        """Final resource-usage totals (valid after :meth:`wait`).
+
+        The ``time -v`` / ``getrusage`` analogue: wall runtime, CPU times
+        and peak RSS, used to correct sampling-offset effects (§4.1).
+        """
+
+    def info(self) -> dict[str, Any]:
+        """Static per-process information (defaults to empty)."""
+        return {}
+
+
+class ExecutionBackend(ABC):
+    """A place where processes run and time passes."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (monotonic within the backend)."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Let ``seconds`` of backend time pass."""
+
+    @abstractmethod
+    def spawn(self, target: Any, **kwargs: Any) -> ProcessHandle:
+        """Start executing ``target``; returns its handle immediately."""
+
+    @abstractmethod
+    def machine_info(self) -> dict[str, Any]:
+        """Description of the machine processes run on (profile metadata)."""

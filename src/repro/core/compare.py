@@ -1,0 +1,122 @@
+"""Profile comparison: application vs emulation (or any two profiles).
+
+The paper's validation methodology is exactly this comparison: "we
+profiled the emulated application and compared the reported system
+resource consumption results" (E.2), and all of E.3's figures are
+per-metric error percentages between application and emulation runs.
+:class:`ProfileComparison` packages that workflow: pick two profiles (or
+two repeat groups), compare totals, derived metrics and Tx, and render
+the error table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.samples import Profile
+from repro.core.statistics import aggregate, error_percent
+from repro.util.tables import Table
+
+__all__ = ["ComparisonRow", "ProfileComparison"]
+
+#: Metrics compared by default (the ones both planes reliably record).
+DEFAULT_METRICS = (
+    "tx",
+    "cpu.cycles_used",
+    "cpu.instructions",
+    "cpu.flops",
+    "io.bytes_read",
+    "io.bytes_written",
+    "mem.allocated",
+    "mem.freed",
+    "mem.peak",
+    "cpu.efficiency",
+    "cpu.ipc",
+)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One metric's reference/measured pair with its error."""
+
+    metric: str
+    reference: float
+    measured: float
+
+    @property
+    def error_pct(self) -> float:
+        """Unsigned percentage error (the paper's E.3 'error %')."""
+        return error_percent(self.reference, self.measured)
+
+    @property
+    def signed_pct(self) -> float:
+        """Signed percentage difference."""
+        if self.reference == 0:
+            return float("inf") if self.measured else 0.0
+        return 100.0 * (self.measured - self.reference) / self.reference
+
+
+@dataclass
+class ProfileComparison:
+    """Per-metric comparison of a measured run against a reference."""
+
+    reference_label: str
+    measured_label: str
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    @classmethod
+    def between(
+        cls,
+        reference: Profile | Sequence[Profile],
+        measured: Profile | Sequence[Profile],
+        metrics: Iterable[str] | None = None,
+        reference_label: str = "reference",
+        measured_label: str = "measured",
+    ) -> "ProfileComparison":
+        """Compare two profiles (or two repeat groups, via their means).
+
+        Only metrics present on *both* sides are compared; requesting
+        ``metrics=None`` uses :data:`DEFAULT_METRICS`.
+        """
+        ref_stats = aggregate([reference] if isinstance(reference, Profile) else list(reference))
+        mes_stats = aggregate([measured] if isinstance(measured, Profile) else list(measured))
+        wanted = tuple(metrics) if metrics is not None else DEFAULT_METRICS
+        rows = []
+        for name in wanted:
+            if name in ref_stats.metrics and name in mes_stats.metrics:
+                rows.append(
+                    ComparisonRow(
+                        metric=name,
+                        reference=ref_stats.metrics[name].mean,
+                        measured=mes_stats.metrics[name].mean,
+                    )
+                )
+        return cls(reference_label=reference_label, measured_label=measured_label, rows=rows)
+
+    def row(self, metric: str) -> ComparisonRow:
+        """Look up one comparison row (raises ``KeyError`` if absent)."""
+        for row in self.rows:
+            if row.metric == metric:
+                return row
+        raise KeyError(f"metric {metric!r} not compared; have {[r.metric for r in self.rows]}")
+
+    def max_error(self, metrics: Iterable[str] | None = None) -> float:
+        """Largest unsigned error over the chosen metrics."""
+        names = set(metrics) if metrics is not None else None
+        errors = [
+            row.error_pct
+            for row in self.rows
+            if (names is None or row.metric in names) and row.reference != 0
+        ]
+        return max(errors) if errors else 0.0
+
+    def table(self) -> Table:
+        """Render the comparison (the E.3-style error table)."""
+        table = Table(
+            ["metric", self.reference_label, self.measured_label, "diff %"],
+            title=f"{self.measured_label} vs {self.reference_label}",
+        )
+        for row in self.rows:
+            table.add_row([row.metric, row.reference, row.measured, f"{row.signed_pct:+.2f}"])
+        return table

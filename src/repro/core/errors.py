@@ -1,0 +1,67 @@
+"""Exception hierarchy for the Synapse reproduction.
+
+Every error raised by the library derives from :class:`SynapseError`, so a
+caller embedding Synapse as middleware tooling (the paper's use cases) can
+catch one type at the integration boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SynapseError",
+    "ConfigError",
+    "WorkloadError",
+    "BackendError",
+    "CalibrationError",
+    "StoreError",
+    "DocumentTooLargeError",
+    "ProfileNotFoundError",
+    "EmulationError",
+    "ProfilingError",
+]
+
+
+class SynapseError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(SynapseError):
+    """Invalid configuration value (bad sample rate, unknown kernel, ...)."""
+
+
+class WorkloadError(SynapseError):
+    """A workload description is malformed or unsupported by a backend."""
+
+
+class BackendError(SynapseError):
+    """An execution backend failed to spawn or observe a process."""
+
+
+class CalibrationError(SynapseError):
+    """A compute kernel could not be calibrated on the current resource."""
+
+
+class StoreError(SynapseError):
+    """Generic profile store failure."""
+
+
+class DocumentTooLargeError(StoreError):
+    """A profile document exceeded the store's per-document size limit.
+
+    The Mongo-like store raises this only in ``strict`` mode; by default it
+    truncates trailing samples, reproducing the paper's observation that
+    the largest E.1 configuration "misses one data sample due to
+    limitations in the database backend".
+    """
+
+
+class ProfileNotFoundError(StoreError):
+    """No stored profile matches the requested command/tag combination."""
+
+
+class ProfilingError(SynapseError):
+    """The profiler failed while observing a process."""
+
+
+class EmulationError(SynapseError):
+    """The emulator failed while replaying a profile."""

@@ -1,0 +1,218 @@
+"""Metric registry and derived-metric computation.
+
+This module encodes Table 1 of the paper verbatim: every metric Synapse
+knows about, which resource it belongs to, and whether it is *totalled*
+over the runtime, *sampled* over time, *derived* from other metrics, and
+*emulated*.  Flags use the paper's four states:
+
+* ``YES``      — fully supported (``+`` in the table);
+* ``NO``       — not supported (``-``);
+* ``PARTIAL``  — partially supported (``(+)``);
+* ``PLANNED``  — planned future work (``(-)``).
+
+Derived metrics (§4.3) are computed here from profile totals:
+
+* ``efficiency  = cycles_used / (cycles_used + cycles_stalled)``
+* ``utilization = cycles_used / cycles_max`` with
+  ``cycles_max = runtime * clock_frequency``
+* ``ipc         = instructions / cycles_used`` (the Fig 11 instruction rate)
+* ``flop_rate   = flops / runtime``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "Support",
+    "MetricKind",
+    "MetricSpec",
+    "REGISTRY",
+    "metric",
+    "metric_names",
+    "cumulative_metrics",
+    "level_metrics",
+    "derive_metrics",
+    "table1_rows",
+]
+
+
+class Support(enum.Enum):
+    """Support level of a metric capability, as printed in Table 1."""
+
+    YES = "+"
+    NO = "-"
+    PARTIAL = "(+)"
+    PLANNED = "(-)"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class MetricKind(enum.Enum):
+    """How sample values of a metric combine into a profile total."""
+
+    #: Monotone counter; samples hold per-interval deltas; total = sum.
+    CUMULATIVE = "cumulative"
+    #: Instantaneous level (RSS, load); total = maximum observed.
+    LEVEL = "level"
+    #: Constant for the whole run (core count, filesystem name).
+    STATIC = "static"
+    #: Computed from other totals; never sampled directly.
+    DERIVED = "derived"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One row of Table 1."""
+
+    name: str
+    resource: str
+    label: str
+    kind: MetricKind
+    totalled: Support
+    sampled: Support
+    derived: Support
+    emulated: Support
+    unit: str = ""
+
+    @property
+    def numeric(self) -> bool:
+        """Whether values are numbers (the filesystem name, e.g., is not)."""
+        return self.unit != "name"
+
+
+def _spec(name, resource, label, kind, tot, samp, der, emul, unit=""):
+    return MetricSpec(name, resource, label, kind, tot, samp, der, emul, unit)
+
+
+_Y, _N, _P, _PL = Support.YES, Support.NO, Support.PARTIAL, Support.PLANNED
+_C, _L, _S, _D = (
+    MetricKind.CUMULATIVE,
+    MetricKind.LEVEL,
+    MetricKind.STATIC,
+    MetricKind.DERIVED,
+)
+
+#: The full metric inventory, in the paper's row order.
+REGISTRY: dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- System ---------------------------------------------------------
+        _spec("sys.cores", "System", "number of cores", _S, _Y, _N, _N, _N, "cores"),
+        _spec("sys.cpu_freq", "System", "max CPU frequency", _S, _Y, _N, _N, _N, "Hz"),
+        _spec("sys.memory", "System", "total memory", _S, _Y, _N, _N, _N, "B"),
+        _spec("time.runtime", "System", "runtime", _C, _Y, _Y, _N, _N, "s"),
+        _spec("sys.load_cpu", "System", "system load (CPU)", _L, _Y, _N, _N, _Y, ""),
+        _spec("sys.load_disk", "System", "system load (disk)", _L, _N, _N, _N, _Y, ""),
+        _spec("sys.load_mem", "System", "system load (memory)", _L, _N, _N, _N, _Y, ""),
+        # --- Compute ---------------------------------------------------------
+        _spec("cpu.instructions", "Compute", "CPU instructions", _C, _Y, _Y, _N, _Y, "ops"),
+        _spec("cpu.cycles_used", "Compute", "cycles used", _C, _Y, _Y, _N, _Y, "cycles"),
+        _spec(
+            "cpu.cycles_stalled_back",
+            "Compute",
+            "cycles stalled backend",
+            _C, _Y, _Y, _N, _N, "cycles",
+        ),
+        _spec(
+            "cpu.cycles_stalled_front",
+            "Compute",
+            "cycles stalled frontend",
+            _C, _Y, _Y, _N, _N, "cycles",
+        ),
+        _spec("cpu.efficiency", "Compute", "efficiency", _D, _Y, _Y, _Y, _P, ""),
+        _spec("cpu.utilization", "Compute", "utilization", _D, _Y, _Y, _Y, _N, ""),
+        _spec("cpu.flops", "Compute", "FLOPs", _C, _Y, _Y, _Y, _Y, "flop"),
+        _spec("cpu.flop_rate", "Compute", "FLOP/s", _D, _Y, _Y, _Y, _N, "flop/s"),
+        _spec("cpu.threads", "Compute", "number of threads", _L, _Y, _N, _N, _P, ""),
+        _spec("cpu.openmp", "Compute", "OpenMP", _S, _P, _N, _N, _Y, ""),
+        # --- Storage ---------------------------------------------------------
+        _spec("io.bytes_read", "Storage", "bytes read", _C, _Y, _Y, _N, _Y, "B"),
+        _spec("io.bytes_written", "Storage", "bytes written", _C, _Y, _Y, _N, _Y, "B"),
+        _spec("io.block_size_read", "Storage", "block size read", _L, _N, _P, _N, _Y, "B"),
+        _spec("io.block_size_write", "Storage", "block size write", _L, _N, _P, _N, _Y, "B"),
+        _spec("io.filesystem", "Storage", "used file system", _S, _Y, _N, _N, _Y, "name"),
+        # --- Memory ----------------------------------------------------------
+        _spec("mem.peak", "Memory", "bytes peak", _L, _Y, _Y, _N, _N, "B"),
+        _spec("mem.rss", "Memory", "bytes resident size", _L, _Y, _Y, _N, _N, "B"),
+        _spec("mem.allocated", "Memory", "bytes allocated", _C, _Y, _Y, _Y, _Y, "B"),
+        _spec("mem.freed", "Memory", "bytes freed", _C, _Y, _Y, _Y, _Y, "B"),
+        _spec("mem.block_size_alloc", "Memory", "block size alloc", _L, _N, _PL, _N, _PL, "B"),
+        _spec("mem.block_size_free", "Memory", "block size free", _L, _N, _PL, _N, _PL, "B"),
+        # --- Network ----------------------------------------------------------
+        _spec("net.endpoint", "Network", "connection endpoint", _S, _PL, _PL, _N, _P, "name"),
+        _spec("net.bytes_read", "Network", "bytes read", _C, _PL, _PL, _N, _P, "B"),
+        _spec("net.bytes_written", "Network", "bytes written", _C, _PL, _PL, _N, _P, "B"),
+        _spec("net.block_size_read", "Network", "block size read", _L, _N, _PL, _N, _PL, "B"),
+        _spec("net.block_size_write", "Network", "block size write", _L, _N, _PL, _N, _PL, "B"),
+    ]
+}
+
+
+def metric(name: str) -> MetricSpec:
+    """Look up a metric spec by name (raises ``KeyError`` for unknown)."""
+    return REGISTRY[name]
+
+
+def metric_names() -> list[str]:
+    """All registered metric names, in Table 1 order."""
+    return list(REGISTRY)
+
+
+def cumulative_metrics() -> list[str]:
+    """Names of metrics whose samples are per-interval deltas."""
+    return [n for n, s in REGISTRY.items() if s.kind is MetricKind.CUMULATIVE]
+
+
+def level_metrics() -> list[str]:
+    """Names of metrics whose samples are instantaneous levels."""
+    return [n for n, s in REGISTRY.items() if s.kind is MetricKind.LEVEL]
+
+
+def derive_metrics(totals: Mapping[str, float]) -> dict[str, float]:
+    """Compute the derived metrics of §4.3 from profile totals.
+
+    Missing inputs simply omit the corresponding derived value — e.g. a
+    profile recorded without the CPU watcher has no efficiency.
+    """
+    derived: dict[str, float] = {}
+    used = totals.get("cpu.cycles_used")
+    stalled_f = totals.get("cpu.cycles_stalled_front", 0.0)
+    stalled_b = totals.get("cpu.cycles_stalled_back", 0.0)
+    if used is not None and used >= 0:
+        spent = used + stalled_f + stalled_b
+        if spent > 0:
+            derived["cpu.efficiency"] = used / spent
+    runtime = totals.get("time.runtime")
+    freq = totals.get("sys.cpu_freq")
+    if used is not None and runtime and freq:
+        cycles_max = runtime * freq
+        if cycles_max > 0:
+            derived["cpu.utilization"] = used / cycles_max
+    instructions = totals.get("cpu.instructions")
+    if instructions is not None and used:
+        derived["cpu.ipc"] = instructions / used
+    flops = totals.get("cpu.flops")
+    if flops is not None and runtime:
+        derived["cpu.flop_rate"] = flops / runtime
+    return derived
+
+
+def table1_rows() -> list[tuple[str, str, str, str, str, str]]:
+    """Render Table 1 rows: (resource, metric, Tot., Sampl., Der., Emul.)."""
+    rows = []
+    for spec in REGISTRY.values():
+        rows.append(
+            (
+                spec.resource,
+                spec.label,
+                str(spec.totalled),
+                str(spec.sampled),
+                str(spec.derived),
+                str(spec.emulated),
+            )
+        )
+    return rows

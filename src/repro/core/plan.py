@@ -1,0 +1,310 @@
+"""Emulation plans: the bridge from a profile to atom workloads.
+
+A plan is the ordered list of per-sample resource quanta the emulator
+will replay.  Building it from a profile preserves two invariants the
+paper's fidelity rests on (§4 and §4.4):
+
+* **conservation** — per resource, the plan's total equals the profile's
+  recorded total (emulation "attempts to consume the same amount of
+  system resources as the original application");
+* **order** — plan samples appear exactly in profile sample order
+  ("the sample ordering is an essential element of the fidelity").
+
+Plans are also the malleability surface (requirement E.3): they can be
+rescaled per resource dimension, re-gridded, or translated into a
+simulation workload for any target machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.atoms.base import AtomWork
+from repro.core.config import SynapseConfig
+from repro.core.errors import EmulationError
+from repro.core.samples import Profile
+from repro.kernels.registry import get_kernel
+from repro.sim.demands import ComputeDemand, IODemand, MemoryDemand, NetworkDemand, SleepDemand
+from repro.sim.resource import MachineSpec
+from repro.sim.workload import SimWorkload
+
+__all__ = ["PlanSample", "EmulationPlan", "EMULATOR_STARTUP_SLEEP", "EMULATOR_STARTUP_INSTRUCTIONS"]
+
+#: Emulator startup delay components (§5 E.2: "the Synapse Emulator
+#: startup delay (~1 sec)"): mostly waiting on the profile fetch and
+#: interpreter spin-up (I/O bound, few cycles) ...
+EMULATOR_STARTUP_SLEEP = 0.9
+#: ... plus a small amount of plan-preparation compute, at startup IPC.
+EMULATOR_STARTUP_INSTRUCTIONS = 5.0e7
+#: Resident footprint of the emulator driver ("multiple Python instances",
+#: §4.5 "Overheads"; the profiler itself uses ~150 MB).
+EMULATOR_BASE_RSS = 150 << 20
+
+
+@dataclass(frozen=True)
+class PlanSample:
+    """One replay quantum: everything sample ``index`` asks the atoms for."""
+
+    index: int
+    work: AtomWork
+
+
+@dataclass
+class EmulationPlan:
+    """Ordered atom workloads derived from one profile."""
+
+    samples: list[PlanSample]
+    command: str = ""
+    tags: tuple[str, ...] = ()
+    source_machine: dict[str, Any] = field(default_factory=dict)
+    sample_rate: float = 1.0
+    info: dict[str, Any] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_profile(cls, profile: Profile, config: SynapseConfig | None = None) -> "EmulationPlan":
+        """Translate a profile's samples into replay quanta.
+
+        Counter deltas can carry tiny negative noise (unsynchronised
+        watcher clocks); they are clamped at zero, which keeps the
+        conservation error bounded by the noise floor.
+        """
+        if profile.n_samples == 0:
+            raise EmulationError("cannot build an emulation plan from an empty profile")
+        samples: list[PlanSample] = []
+        for sample in profile.samples:
+            get = sample.values.get
+
+            def positive(name: str) -> float:
+                value = get(name, 0.0)
+                return value if value > 0.0 else 0.0
+
+            work = AtomWork(
+                cycles=positive("cpu.cycles_used"),
+                flops=positive("cpu.flops"),
+                alloc_bytes=int(positive("mem.allocated")),
+                free_bytes=int(positive("mem.freed")),
+                read_bytes=int(positive("io.bytes_read")),
+                write_bytes=int(positive("io.bytes_written")),
+                sent_bytes=int(positive("net.bytes_written")),
+                received_bytes=int(positive("net.bytes_read")),
+            )
+            samples.append(PlanSample(index=sample.index, work=work))
+        info: dict[str, Any] = {
+            "source_tx": profile.tx,
+            "source_samples": profile.n_samples,
+        }
+        # Block sizes inferred by the experimental blktrace watcher (§6):
+        # carried along so "auto" block-size emulation can use them.
+        for key in ("io.block_size_read_mean", "io.block_size_write_mean"):
+            if key in profile.statics:
+                info[key] = float(profile.statics[key])
+        return cls(
+            samples=samples,
+            command=profile.command,
+            tags=profile.tags,
+            source_machine=dict(profile.machine),
+            sample_rate=profile.sample_rate,
+            info=info,
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of replay quanta."""
+        return len(self.samples)
+
+    def totals(self) -> AtomWork:
+        """Summed resource consumption across all plan samples."""
+        total = AtomWork()
+        for sample in self.samples:
+            total = total + sample.work
+        return total
+
+    # -- malleability (requirement E.3) ---------------------------------------
+
+    def scaled(
+        self,
+        cpu: float = 1.0,
+        io: float = 1.0,
+        mem: float = 1.0,
+        net: float = 1.0,
+    ) -> "EmulationPlan":
+        """Rescale resource dimensions (tuning beyond the original app)."""
+        if min(cpu, io, mem, net) < 0:
+            raise EmulationError("scale factors must be non-negative")
+        scaled = [
+            PlanSample(
+                index=s.index,
+                work=AtomWork(
+                    cycles=s.work.cycles * cpu,
+                    flops=s.work.flops * cpu,
+                    alloc_bytes=int(s.work.alloc_bytes * mem),
+                    free_bytes=int(s.work.free_bytes * mem),
+                    read_bytes=int(s.work.read_bytes * io),
+                    write_bytes=int(s.work.write_bytes * io),
+                    sent_bytes=int(s.work.sent_bytes * net),
+                    received_bytes=int(s.work.received_bytes * net),
+                ),
+            )
+            for s in self.samples
+        ]
+        plan = replace(self, samples=scaled)
+        plan.info = dict(self.info, scaled={"cpu": cpu, "io": io, "mem": mem, "net": net})
+        return plan
+
+    def regrid(self, factor: int) -> "EmulationPlan":
+        """Merge every ``factor`` consecutive samples into one.
+
+        This is the Fig 2 sampling-rate knob in reverse: a coarser grid
+        removes serialisation points, potentially increasing concurrency
+        speed-up during replay.  Totals are preserved exactly.
+        """
+        if factor < 1:
+            raise EmulationError("regrid factor must be >= 1")
+        merged: list[PlanSample] = []
+        for start in range(0, len(self.samples), factor):
+            chunk = self.samples[start : start + factor]
+            work = AtomWork()
+            for sample in chunk:
+                work = work + sample.work
+            merged.append(PlanSample(index=len(merged), work=work))
+        plan = replace(self, samples=merged)
+        plan.sample_rate = self.sample_rate / factor
+        plan.info = dict(self.info, regrid=factor)
+        return plan
+
+    # -- configuration resolution ---------------------------------------------
+
+    def effective_config(self, config: SynapseConfig) -> SynapseConfig:
+        """Resolve ``"auto"`` block sizes against profiled block sizes.
+
+        When the profile was taken with the blktrace watcher, the plan
+        carries byte-weighted mean block sizes; ``"auto"`` picks those up
+        (§6 future work).  Without profiled data, ``"auto"`` falls back
+        to 1 MB — the conservative large-block assumption of §4.2.
+        """
+        changes: dict[str, Any] = {}
+        if config.io_block_size_read == "auto":
+            changes["io_block_size_read"] = int(
+                self.info.get("io.block_size_read_mean", 1 << 20)
+            )
+        if config.io_block_size_write == "auto":
+            changes["io_block_size_write"] = int(
+                self.info.get("io.block_size_write_mean", 1 << 20)
+            )
+        return config.replace(**changes) if changes else config
+
+    # -- simulation-plane translation ---------------------------------------------
+
+    def build_sim_workload(
+        self, config: SynapseConfig, machine: MachineSpec | None = None
+    ) -> SimWorkload:
+        """Express this plan as a simulation workload (Fig 2 semantics).
+
+        Each plan sample becomes one phase; each atom with work becomes a
+        concurrent stream inside it.  Compute demands carry the selected
+        kernel's workload class and the target cycle budget, so the
+        machine's calibration bias applies exactly as on real hardware.
+        """
+        config = self.effective_config(config)
+        kernel = get_kernel(config.compute_kernel)
+        threads = max(config.openmp_threads, 1)
+        paradigm = "openmp"
+        if config.mpi_processes > 1:
+            threads = config.mpi_processes
+            paradigm = "mpi"
+        fs = config.io_filesystem
+        # CPU-efficiency targeting (Table 1: partially supported, manual):
+        # efficiency = used/(used+stalled)  =>  stalled/used = 1/eff - 1.
+        stall_override = None
+        if config.efficiency_target is not None:
+            stall_override = 1.0 / config.efficiency_target - 1.0
+
+        workload = SimWorkload(
+            name=f"synapse-emulate {self.command}",
+            base_rss=EMULATOR_BASE_RSS,
+            metadata={
+                "emulation_of": self.command,
+                "kernel": kernel.name,
+                "command": f"synapse-emulate {self.command}",
+            },
+        )
+
+        startup = workload.phase("emulator-startup")
+        stream = startup.stream("driver")
+        stream.add(SleepDemand(EMULATOR_STARTUP_SLEEP))
+        stream.add(
+            ComputeDemand(
+                instructions=EMULATOR_STARTUP_INSTRUCTIONS,
+                workload_class="app.startup",
+            )
+        )
+
+        load_fraction = config.cpu_load
+        for plan_sample in self.samples:
+            work = plan_sample.work
+            if work.empty:
+                continue
+            phase = workload.phase(f"sample-{plan_sample.index}")
+            if work.cycles > 0:
+                flop_frac = min(1.0, work.flops / work.cycles) if work.cycles else 0.0
+                phase.stream("compute").add(
+                    ComputeDemand(
+                        instructions=0.0,
+                        workload_class=kernel.workload_class,
+                        calibrated_cycles=work.cycles,
+                        flops_per_instruction=flop_frac,
+                        threads=threads,
+                        paradigm=paradigm,
+                        stall_ratio=stall_override,
+                    )
+                )
+                if load_fraction > 0:
+                    # Artificial background load (§4.3): co-scheduled CPU
+                    # work proportional to the sample's own cycle budget.
+                    phase.stream("cpu-load").add(
+                        ComputeDemand(
+                            instructions=0.0,
+                            workload_class=kernel.workload_class,
+                            calibrated_cycles=work.cycles * load_fraction,
+                        )
+                    )
+            if work.read_bytes > 0 or work.write_bytes > 0:
+                storage = phase.stream("storage")
+                if work.read_bytes > 0:
+                    storage.add(
+                        IODemand(
+                            bytes_read=work.read_bytes,
+                            block_size=int(config.io_block_size_read),
+                            filesystem=fs,
+                        )
+                    )
+                if work.write_bytes > 0:
+                    storage.add(
+                        IODemand(
+                            bytes_written=work.write_bytes,
+                            block_size=int(config.io_block_size_write),
+                            filesystem=fs,
+                        )
+                    )
+            if work.alloc_bytes > 0 or work.free_bytes > 0:
+                phase.stream("memory").add(
+                    MemoryDemand(
+                        allocate=work.alloc_bytes,
+                        free=work.free_bytes,
+                        block_size=int(config.mem_block_size),
+                    )
+                )
+            if work.sent_bytes > 0 or work.received_bytes > 0:
+                phase.stream("network").add(
+                    NetworkDemand(
+                        bytes_sent=work.sent_bytes,
+                        bytes_received=work.received_bytes,
+                        block_size=int(config.net_block_size),
+                    )
+                )
+        return workload

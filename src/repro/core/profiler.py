@@ -1,0 +1,275 @@
+"""The Synapse profiler: spawn, watch, merge, store (§4.1).
+
+The profiler spawns the target through an execution backend, hands the
+process handle to the configured watcher plugins, and drives sampling:
+
+* **host plane** — every watcher runs in its own thread (the paper's
+  architecture), sampling at the configured rate against the wall clock;
+  timestamps of different watchers drift freely;
+* **simulation plane** — watchers are driven in lockstep against the
+  virtual clock (real threads cannot wait on virtual time), which is
+  observationally equivalent up to drift.
+
+Profiling only terminates on full sample periods: after process exit one
+final drain sample captures the tail (§4.5 "Overheads" notes the
+completion delay this causes at very low rates).  Watcher series are then
+merged onto the nominal grid and the profile is optionally stored.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.backend import ExecutionBackend, ProcessHandle
+from repro.core.config import SynapseConfig
+from repro.core.errors import ProfilingError
+from repro.core.samples import Profile
+from repro.core.sampling import SamplingPolicy, policy_from_config
+from repro.core.tags import normalize_command, normalize_tags
+from repro.storage.base import ProfileStore
+from repro.watchers.base import WatcherBase, WatcherContext, WatcherResult
+from repro.watchers.registry import get_watcher
+
+__all__ = ["Profiler", "ProfileRun"]
+
+
+@dataclass
+class ProfileRun:
+    """Bookkeeping for one profiling run (returned via ``Profile.info``)."""
+
+    exit_code: int = 0
+    watcher_names: tuple[str, ...] = ()
+    n_samples: int = 0
+    sample_rate: float = 1.0
+    first_sample_offset: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class Profiler:
+    """Profiles targets on one backend with one configuration."""
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        config: SynapseConfig | None = None,
+        store: ProfileStore | None = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config if config is not None else SynapseConfig()
+        self.store = store
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        target: Any,
+        tags: object = None,
+        command: str | None = None,
+        **spawn_kwargs: Any,
+    ) -> Profile:
+        """Profile one execution of ``target``; returns the profile.
+
+        ``command`` overrides the profile's index string (useful when the
+        target object's own name is not the desired search key).  The
+        profile is stored when the profiler has a store.
+        """
+        config = self.config
+        policy = policy_from_config(config)
+
+        handle = self.backend.spawn(target, **spawn_kwargs)
+        context = WatcherContext(
+            config=config,
+            machine_info=self.backend.machine_info(),
+            backend=self.backend,
+        )
+        watchers = [
+            get_watcher(name)(handle, context) for name in config.watchers
+        ]
+        for watcher in watchers:
+            watcher.pre_process(config)
+
+        t0 = self.backend.now()
+        realtime = getattr(self.backend, "name", "") == "host"
+        if realtime:
+            self._drive_threaded(watchers, handle, policy, t0)
+        else:
+            self._drive_lockstep(watchers, handle, policy, t0)
+        exit_code = handle.wait()
+
+        # Drain: one final sample on the full-period boundary (§4.5).
+        if config.drain_final_sample:
+            now = self.backend.now() - t0
+            for watcher in watchers:
+                self._safe_sample(watcher, now)
+
+        for watcher in watchers:
+            watcher.post_process()
+        raw = {w.name: w.result for w in watchers}
+        results: dict[str, WatcherResult] = {}
+        for watcher in watchers:
+            try:
+                results[watcher.name] = watcher.finalize(raw)
+            except Exception as exc:  # noqa: BLE001 - plugin boundary
+                watcher.result.info["finalize_error"] = repr(exc)
+                results[watcher.name] = watcher.result
+
+        profile = self._build_profile(results, handle, exit_code, command, tags, policy)
+        if self.store is not None:
+            self.store.put(profile)
+        return profile
+
+    def run_repeats(
+        self,
+        target: Any,
+        repeats: int,
+        tags: object = None,
+        command: str | None = None,
+    ) -> list[Profile]:
+        """Profile ``repeats`` independent executions of ``target``.
+
+        The paper collects multiple profiles per command/tag combination
+        for its consistency statistics (E.1, E.3); all repeats share the
+        same search key.
+        """
+        if repeats < 1:
+            raise ProfilingError("repeats must be >= 1")
+        return [self.run(target, tags=tags, command=command) for _ in range(repeats)]
+
+    # -- sampling drivers -------------------------------------------------------
+
+    @staticmethod
+    def _safe_sample(watcher: WatcherBase, now: float) -> None:
+        """Sample one watcher, quarantining plugin failures.
+
+        Watchers are third-party extensible plugins (§3.3); one broken
+        plugin must not abort the whole profiling run (requirement P.2:
+        profiling must not influence the profiled execution).  Failures
+        are counted in the watcher's result info and the plugin keeps
+        being sampled — transient `/proc` races recover on their own.
+        """
+        try:
+            watcher.sample(now)
+        except Exception as exc:  # noqa: BLE001 - plugin boundary
+            errors = watcher.result.info.setdefault("sample_errors", [])
+            if len(errors) < 16:
+                errors.append(f"{now:.3f}s: {exc!r}")
+
+    def _drive_lockstep(
+        self,
+        watchers: list[WatcherBase],
+        handle: ProcessHandle,
+        policy: SamplingPolicy,
+        t0: float,
+    ) -> None:
+        """Single-threaded sampling loop (simulation plane)."""
+        while handle.alive():
+            elapsed = self.backend.now() - t0
+            self.backend.sleep(policy.interval_at(elapsed))
+            now = self.backend.now() - t0
+            for watcher in watchers:
+                self._safe_sample(watcher, now)
+
+    def _drive_threaded(
+        self,
+        watchers: list[WatcherBase],
+        handle: ProcessHandle,
+        policy: SamplingPolicy,
+        t0: float,
+    ) -> None:
+        """One sampling thread per watcher (host plane, §4.1)."""
+        stop = threading.Event()
+
+        def loop(watcher: WatcherBase) -> None:
+            while not stop.is_set():
+                now = self.backend.now() - t0
+                self._safe_sample(watcher, now)
+                stop.wait(policy.interval_at(now))
+
+        threads = [
+            threading.Thread(target=loop, args=(w,), daemon=True, name=f"watcher-{w.name}")
+            for w in watchers
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            while handle.alive():
+                elapsed = self.backend.now() - t0
+                self.backend.sleep(policy.interval_at(elapsed) / 2.0)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    # -- profile assembly ----------------------------------------------------------
+
+    def _build_profile(
+        self,
+        results: dict[str, WatcherResult],
+        handle: ProcessHandle,
+        exit_code: int,
+        command: str | None,
+        tags: object,
+        policy: SamplingPolicy,
+    ) -> Profile:
+        config = self.config
+        cumulative: dict[str, Any] = {}
+        levels: dict[str, Any] = {}
+        statics: dict[str, Any] = {}
+        info: dict[str, Any] = {"exit_code": exit_code, "backend": self.backend.name}
+        watcher_times: dict[str, list[float]] = {}
+        first_offsets: list[float] = []
+        for name, result in results.items():
+            cumulative.update(result.cumulative)
+            levels.update(result.levels)
+            statics.update(result.statics)
+            if result.info:
+                info[f"watcher.{name}"] = result.info
+            if result.timestamps:
+                watcher_times[name] = result.timestamps
+                first_offsets.append(result.timestamps[0])
+
+        runtime = statics.get("time.runtime_rusage")
+        if runtime is None:
+            runtime = max(
+                (s.times[-1] for s in list(cumulative.values()) + list(levels.values()) if len(s)),
+                default=0.0,
+            )
+        grid = policy.grid(runtime)
+        samples = Profile.merge_watcher_series(grid, cumulative, levels, watcher_times)
+
+        info["run"] = {
+            "n_samples": len(grid),
+            "sample_rate": config.sample_rate,
+            "sampling": policy.describe(),
+            "first_sample_offset": min(first_offsets) if first_offsets else 0.0,
+            "watchers": list(config.watchers),
+        }
+        handle_info = handle.info()
+        if handle_info:
+            info["process"] = handle_info
+
+        return Profile(
+            command=command if command is not None else _target_command(handle, info),
+            tags=normalize_tags(tags),
+            machine=dict(self.backend.machine_info()),
+            config=config.to_dict(),
+            sample_rate=config.sample_rate,
+            samples=samples,
+            statics=statics,
+            info=info,
+        )
+
+
+def _target_command(handle: ProcessHandle, info: dict[str, Any]) -> str:
+    """Best-effort command string for handles that know their target."""
+    meta = info.get("process", {}).get("metadata")
+    if isinstance(meta, dict) and "command" in meta:
+        return str(meta["command"])
+    record = getattr(handle, "record", None)
+    if record is not None and getattr(record, "metadata", None) is not None:
+        name = record.metadata.get("workload_name")
+        if name:
+            return normalize_command(name)
+    return "unknown"

@@ -1,0 +1,13 @@
+"""Export utilities: CSV data dumps and Chrome-trace timelines."""
+
+from repro.export.csvout import profile_to_csv, stats_to_csv, write_csv
+from repro.export.trace import dump_trace, profile_to_trace, record_to_trace
+
+__all__ = [
+    "dump_trace",
+    "profile_to_csv",
+    "profile_to_trace",
+    "record_to_trace",
+    "stats_to_csv",
+    "write_csv",
+]

@@ -1,0 +1,78 @@
+"""CSV export of profiles and statistics.
+
+The paper publishes its raw data sets alongside plotting scripts; this
+module provides the equivalent machine-readable export: one row per
+sample with every recorded metric as a column, plus a totals/statistics
+export for aggregated repeat groups.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable
+
+from repro.core.samples import Profile
+from repro.core.statistics import ProfileStats
+
+__all__ = ["profile_to_csv", "stats_to_csv", "write_csv"]
+
+
+def profile_to_csv(profile: Profile) -> str:
+    """Render a profile's samples as CSV text (one row per sample)."""
+    metric_names = sorted(
+        {name for sample in profile.samples for name in sample.values}
+    )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["index", "t", "dt"] + metric_names)
+    for sample in profile.samples:
+        writer.writerow(
+            [sample.index, f"{sample.t:.6f}", f"{sample.dt:.6f}"]
+            + [repr(sample.values[m]) if m in sample.values else "" for m in metric_names]
+        )
+    return buffer.getvalue()
+
+
+def stats_to_csv(stats: ProfileStats) -> str:
+    """Render aggregated statistics as CSV text (one row per metric)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["metric", "n", "mean", "std", "ci99", "min", "max"])
+    for name in sorted(stats.metrics):
+        metric = stats.metrics[name]
+        writer.writerow(
+            [
+                name,
+                metric.n,
+                repr(metric.mean),
+                repr(metric.std),
+                repr(metric.ci99),
+                repr(metric.minimum),
+                repr(metric.maximum),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_csv(text: str, path: str | os.PathLike) -> None:
+    """Write CSV text to a file (parent directories created)."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(text)
+
+
+def rows_from_csv(text: str) -> list[dict[str, str]]:
+    """Parse exported CSV back into dict rows (round-trip helper)."""
+    reader = csv.DictReader(io.StringIO(text))
+    return list(reader)
+
+
+def columns(text: str) -> Iterable[str]:
+    """Header columns of exported CSV text."""
+    reader = csv.reader(io.StringIO(text))
+    return next(reader, [])

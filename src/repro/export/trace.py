@@ -1,0 +1,138 @@
+"""Chrome-trace (Trace Event Format) export.
+
+Execution records and profiles export to the JSON format consumed by
+``chrome://tracing`` / Perfetto, giving the timeline view the paper's
+Fig 2/3 sketches by hand:
+
+* simulation-plane phases become duration (``X``) events, one track per
+  phase, so the per-sample barrier structure of an emulation is visible;
+* I/O events become instant (``i``) events;
+* cumulative counters become counter (``C``) tracks sampled at their
+  breakpoints (capped to keep files small).
+
+Timestamps are microseconds, per the trace-event spec.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.samples import Profile
+from repro.sim.engine import ExecutionRecord
+
+__all__ = ["record_to_trace", "profile_to_trace", "dump_trace"]
+
+_US = 1e6
+#: Maximum points exported per counter track.
+_MAX_COUNTER_POINTS = 512
+
+
+def _counter_events(
+    name: str, times: np.ndarray, values: np.ndarray, pid: int
+) -> list[dict[str, Any]]:
+    if times.size > _MAX_COUNTER_POINTS:
+        picks = np.linspace(0, times.size - 1, _MAX_COUNTER_POINTS).astype(int)
+        times = times[picks]
+        values = values[picks]
+    return [
+        {
+            "name": name,
+            "ph": "C",
+            "ts": float(t) * _US,
+            "pid": pid,
+            "args": {name: float(v)},
+        }
+        for t, v in zip(times, values)
+    ]
+
+
+def record_to_trace(record: ExecutionRecord, pid: int = 1) -> dict[str, Any]:
+    """Convert an execution record to a trace-event document."""
+    events: list[dict[str, Any]] = []
+    for index, (t0, t1) in enumerate(record.phase_bounds):
+        events.append(
+            {
+                "name": f"phase-{index}",
+                "cat": "phase",
+                "ph": "X",
+                "ts": t0 * _US,
+                "dur": max(t1 - t0, 0.0) * _US,
+                "pid": pid,
+                "tid": 0,
+            }
+        )
+    for event in record.io_events:
+        events.append(
+            {
+                "name": f"{event.op} {event.nbytes}B @{event.block_size}",
+                "cat": "io",
+                "ph": "i",
+                "ts": event.t * _US,
+                "pid": pid,
+                "tid": 1,
+                "s": "t",
+                "args": {
+                    "bytes": event.nbytes,
+                    "block_size": event.block_size,
+                    "filesystem": event.filesystem,
+                },
+            }
+        )
+    for name, series in record.counters.items():
+        events.extend(_counter_events(name, series.times, series.values, pid))
+    for name, series in record.levels.items():
+        events.extend(_counter_events(name, series.times, series.values, pid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "machine": record.machine.name,
+            "duration_s": record.duration,
+            **{k: str(v) for k, v in record.metadata.items()},
+        },
+    }
+
+
+def profile_to_trace(profile: Profile, pid: int = 1) -> dict[str, Any]:
+    """Convert a profile to a trace-event document.
+
+    Samples become duration events (so the sampling grid is visible) and
+    every recorded metric becomes a counter track.
+    """
+    events: list[dict[str, Any]] = []
+    for sample in profile.samples:
+        events.append(
+            {
+                "name": f"sample-{sample.index}",
+                "cat": "sample",
+                "ph": "X",
+                "ts": sample.t * _US,
+                "dur": sample.dt * _US,
+                "pid": pid,
+                "tid": 0,
+                "args": {k: v for k, v in sample.values.items()},
+            }
+        )
+    for name in profile.metric_names():
+        series = profile.series(name)
+        if len(series):
+            events.extend(_counter_events(name, series.times, series.values, pid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "command": profile.command,
+            "tags": list(profile.tags),
+            "machine": str(profile.machine.get("name", "?")),
+            "tx_s": profile.tx,
+        },
+    }
+
+
+def dump_trace(document: dict[str, Any], path: str) -> None:
+    """Write a trace document to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)

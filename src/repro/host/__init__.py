@@ -1,0 +1,17 @@
+"""Host plane: real process execution and observation on this machine."""
+
+from repro.host.backend import HostBackend, HostProcess
+from repro.host.hostinfo import cpu_count, cpu_frequency, machine_info, total_memory
+from repro.host.procfs import read_io, read_stat, read_status
+
+__all__ = [
+    "HostBackend",
+    "HostProcess",
+    "cpu_count",
+    "cpu_frequency",
+    "machine_info",
+    "read_io",
+    "read_stat",
+    "read_status",
+    "total_memory",
+]

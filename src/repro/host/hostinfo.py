@@ -1,0 +1,70 @@
+"""Discovery of the host machine's static characteristics.
+
+The system watcher records these once per profile (Table 1's "System"
+rows: number of cores, max CPU frequency, total memory).  The nominal
+frequency additionally anchors the model-based cycle provider of the
+host-plane CPU watcher.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from functools import lru_cache
+
+__all__ = ["cpu_count", "cpu_frequency", "total_memory", "machine_info"]
+
+_DEFAULT_FREQUENCY = 2.5e9
+
+
+def cpu_count() -> int:
+    """Number of online logical CPUs."""
+    return os.cpu_count() or 1
+
+
+@lru_cache(maxsize=1)
+def cpu_frequency() -> float:
+    """Best-effort maximum CPU frequency in Hz.
+
+    Tries cpufreq sysfs, then ``/proc/cpuinfo``; falls back to a generic
+    2.5 GHz when neither is readable (containers often hide both).
+    """
+    try:
+        with open("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq") as handle:
+            return float(handle.read().strip()) * 1e3  # kHz -> Hz
+    except (OSError, ValueError):
+        pass
+    try:
+        with open("/proc/cpuinfo") as handle:
+            text = handle.read()
+        speeds = [float(m) for m in re.findall(r"cpu MHz\s*:\s*([0-9.]+)", text)]
+        if speeds:
+            return max(speeds) * 1e6
+    except OSError:
+        pass
+    return _DEFAULT_FREQUENCY
+
+
+@lru_cache(maxsize=1)
+def total_memory() -> int:
+    """Total physical memory in bytes (0 when undiscoverable)."""
+    try:
+        with open("/proc/meminfo") as handle:
+            for line in handle:
+                if line.startswith("MemTotal:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0
+
+
+def machine_info() -> dict[str, object]:
+    """Host description embedded into profiles (system watcher)."""
+    return {
+        "name": os.uname().nodename if hasattr(os, "uname") else "host",
+        "description": "host execution plane",
+        "cores": cpu_count(),
+        "frequency": cpu_frequency(),
+        "memory": total_memory(),
+        "backend": "host",
+    }

@@ -1,0 +1,22 @@
+"""Compute kernels for the emulation compute atom (§4.2)."""
+
+from repro.kernels.asm import AsmKernel
+from repro.kernels.base import Calibration, ComputeKernel
+from repro.kernels.c import CKernel
+from repro.kernels.openmp import OpenMPKernel
+from repro.kernels.python_kernel import PythonKernel
+from repro.kernels.registry import get_kernel, list_kernels, register
+from repro.kernels.sleep import SleepKernel
+
+__all__ = [
+    "AsmKernel",
+    "CKernel",
+    "Calibration",
+    "ComputeKernel",
+    "OpenMPKernel",
+    "PythonKernel",
+    "SleepKernel",
+    "get_kernel",
+    "list_kernels",
+    "register",
+]

@@ -1,0 +1,100 @@
+"""Compute-kernel protocol and calibration (§4.2 of the paper).
+
+A compute kernel is "a fine-grained and tunable software element that
+consumes one type of system resource" — here, CPU cycles.  Kernels are
+*calibrated*: a short timed run measures the wall cost of one work unit,
+from which the cycles-per-unit conversion follows via the nominal clock.
+``execute_cycles`` then loops the unit until the requested cycle budget
+is consumed.
+
+Kernels differ in *how* they consume cycles (cache-resident vs
+cache-missing matrix multiplication, pure Python, sleeping) — the paper's
+whole point in E.3: the amount can be matched by any kernel, the fidelity
+of the execution behaviour cannot.
+
+On the simulation plane kernels are not executed; their ``workload_class``
+maps them onto the machine model's per-class IPC/bias table instead.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.errors import CalibrationError
+
+__all__ = ["ComputeKernel", "Calibration"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Measured cost of one kernel work unit."""
+
+    seconds_per_unit: float
+    cycles_per_unit: float
+    units_measured: int
+    frequency: float
+
+    def units_for_cycles(self, cycles: float) -> int:
+        """Work units needed to consume ``cycles`` (at least 1 if > 0)."""
+        if cycles <= 0:
+            return 0
+        return max(1, round(cycles / self.cycles_per_unit))
+
+
+class ComputeKernel(ABC):
+    """Base class of host-plane compute kernels."""
+
+    #: Registry name (``"asm"``, ``"c"``, ``"python"``, ``"sleep"``).
+    name: str = "kernel"
+    #: Simulation-plane workload class this kernel maps to.
+    workload_class: str = "app.generic"
+    #: Human description for the CLI.
+    description: str = ""
+
+    _calibration: Calibration | None = None
+
+    @abstractmethod
+    def execute_units(self, units: int) -> None:
+        """Synchronously execute ``units`` work units on the host CPU."""
+
+    def calibrate(self, frequency: float, target_seconds: float = 0.02) -> Calibration:
+        """Measure seconds/cycles per work unit (cached per instance).
+
+        Runs an increasing number of units until the measurement window
+        exceeds ``target_seconds``, then divides.  A kernel whose unit is
+        unmeasurably fast raises :class:`CalibrationError`.
+        """
+        if self._calibration is not None:
+            return self._calibration
+        if frequency <= 0:
+            raise CalibrationError("calibration needs a positive clock frequency")
+        units = 1
+        self.execute_units(1)  # warm caches / allocate buffers
+        for _ in range(24):
+            start = time.perf_counter()
+            self.execute_units(units)
+            elapsed = time.perf_counter() - start
+            if elapsed >= target_seconds:
+                per_unit = elapsed / units
+                self._calibration = Calibration(
+                    seconds_per_unit=per_unit,
+                    cycles_per_unit=per_unit * frequency,
+                    units_measured=units,
+                    frequency=frequency,
+                )
+                return self._calibration
+            units *= 2
+        raise CalibrationError(
+            f"kernel {self.name!r} unit is too fast to calibrate"
+        )
+
+    def execute_cycles(self, cycles: float, frequency: float) -> int:
+        """Consume approximately ``cycles`` CPU cycles; returns units run."""
+        if cycles <= 0:
+            return 0
+        calibration = self.calibrate(frequency)
+        units = calibration.units_for_cycles(cycles)
+        self.execute_units(units)
+        return units

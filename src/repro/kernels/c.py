@@ -1,0 +1,41 @@
+"""The "C" kernel: cache-missing large-matrix multiplication.
+
+"Other kernels for compute atoms are implemented in C, and perform matrix
+multiplications on data which do not usually fit into the CPU caches.
+Those kernels have a lower efficiency, but they represent actual
+application codes more realistically" (§4.2).  E.3 shows this kernel
+emulating Gromacs with markedly better fidelity than the ASM kernel.
+
+The host-plane analogue multiplies 512x512 float64 matrices (2 MB per
+operand — larger than L2, streaming through L3/memory), reproducing the
+lower-IPC, memory-bound execution profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import ComputeKernel
+
+__all__ = ["CKernel"]
+
+_N = 512
+
+
+class CKernel(ComputeKernel):
+    """Cache-missing matmul loop (application-like memory behaviour)."""
+
+    name = "c"
+    workload_class = "kernel.c"
+    description = "large cache-missing matrix multiplication"
+
+    def __init__(self) -> None:
+        rng = np.random.default_rng(43)
+        self._a = rng.random((_N, _N))
+        self._b = rng.random((_N, _N))
+        self._out = np.empty((_N, _N))
+
+    def execute_units(self, units: int) -> None:
+        a, b, out = self._a, self._b, self._out
+        for _ in range(units):
+            np.matmul(a, b, out=out)

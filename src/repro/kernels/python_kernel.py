@@ -1,0 +1,33 @@
+"""A pure-Python compute kernel.
+
+"Users can provide additional compute kernels, coded in Python, C or
+Assembly" (§4.2).  The pure-Python kernel is the low-IPC extreme: heavy
+interpreter overhead, very low useful-operation density — handy when the
+emulated application is itself interpreter-bound (scripted analysis
+stages, workflow glue code).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import ComputeKernel
+
+__all__ = ["PythonKernel"]
+
+_ITERATIONS_PER_UNIT = 10_000
+
+
+class PythonKernel(ComputeKernel):
+    """Interpreter-bound arithmetic loop."""
+
+    name = "python"
+    workload_class = "kernel.python"
+    description = "pure-Python arithmetic loop (interpreter-bound)"
+
+    def execute_units(self, units: int) -> None:
+        x = 1.0001
+        for _ in range(units):
+            acc = 0.0
+            for i in range(_ITERATIONS_PER_UNIT):
+                acc += x * i - acc * 0.5
+        # Keep the result alive so the loop cannot be optimised away.
+        self._sink = acc  # noqa: B010 (intentional attribute write)

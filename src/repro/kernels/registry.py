@@ -1,0 +1,49 @@
+"""Compute-kernel registry.
+
+The paper lets users "write their own kernels to control more tightly how
+system resources are consumed" (§1); custom kernels register here and are
+then selectable through ``SynapseConfig.compute_kernel``.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigError
+from repro.kernels.asm import AsmKernel
+from repro.kernels.base import ComputeKernel
+from repro.kernels.c import CKernel
+from repro.kernels.python_kernel import PythonKernel
+from repro.kernels.sleep import SleepKernel
+
+__all__ = ["register", "get_kernel", "list_kernels"]
+
+_REGISTRY: dict[str, type[ComputeKernel]] = {}
+_INSTANCES: dict[str, ComputeKernel] = {}
+
+
+def register(cls: type[ComputeKernel]) -> type[ComputeKernel]:
+    """Register a kernel class under its ``name`` (usable as decorator)."""
+    if not issubclass(cls, ComputeKernel):
+        raise ConfigError(f"{cls!r} is not a ComputeKernel subclass")
+    if not cls.name or cls.name == "kernel":
+        raise ConfigError("kernel classes must define a unique 'name'")
+    _REGISTRY[cls.name] = cls
+    _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+def get_kernel(name: str) -> ComputeKernel:
+    """Shared instance of a registered kernel (calibration is cached)."""
+    if name not in _REGISTRY:
+        raise ConfigError(f"unknown kernel {name!r}; registered: {sorted(_REGISTRY)}")
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _REGISTRY[name]()
+    return _INSTANCES[name]
+
+
+def list_kernels() -> list[str]:
+    """Names of all registered kernels."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (AsmKernel, CKernel, PythonKernel, SleepKernel):
+    register(_cls)

@@ -1,0 +1,43 @@
+"""The sleep kernel: wall time without cycles.
+
+§4.5 ("Application Semantics") describes applications dominated by
+``sleep(3)``: large Tx, negligible cycles.  Synapse's profiler cannot
+see the difference, but "a user could provide an emulation kernel which
+performs sleep(n) or some equivalent operation" — this is that kernel.
+Selecting it makes the compute atom spend the *time* equivalent of the
+requested cycles instead of burning them.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.kernels.base import Calibration, ComputeKernel
+
+__all__ = ["SleepKernel"]
+
+#: Wall seconds one sleep work unit covers.
+_UNIT_SECONDS = 1e-3
+
+
+class SleepKernel(ComputeKernel):
+    """Consumes wall-clock time instead of CPU cycles."""
+
+    name = "sleep"
+    workload_class = "kernel.sleep"
+    description = "sleeps for the wall-time equivalent of the cycle budget"
+
+    def execute_units(self, units: int) -> None:
+        if units > 0:
+            time.sleep(units * _UNIT_SECONDS)
+
+    def calibrate(self, frequency: float, target_seconds: float = 0.02) -> Calibration:
+        # Sleeping needs no measurement: a unit is _UNIT_SECONDS by design.
+        if self._calibration is None:
+            self._calibration = Calibration(
+                seconds_per_unit=_UNIT_SECONDS,
+                cycles_per_unit=_UNIT_SECONDS * frequency,
+                units_measured=0,
+                frequency=frequency,
+            )
+        return self._calibration

@@ -1,0 +1,8 @@
+"""Artificial background loads for stressed-environment emulation (§4.3)."""
+
+from repro.load.base import LoadGenerator
+from repro.load.cpu_load import CPULoad
+from repro.load.disk_load import DiskLoad
+from repro.load.mem_load import MemoryLoad
+
+__all__ = ["CPULoad", "DiskLoad", "LoadGenerator", "MemoryLoad"]

@@ -1,0 +1,46 @@
+"""Background CPU load: spinning workers with a duty cycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.load.base import LoadGenerator
+
+__all__ = ["CPULoad"]
+
+
+class CPULoad(LoadGenerator):
+    """Keeps ``workers`` threads busy at ``duty`` fractional utilisation.
+
+    ``duty=1.0`` spins continuously; lower values alternate spin/sleep in
+    10 ms slices — the conventional `stress`-style pattern.
+    """
+
+    def __init__(self, workers: int = 1, duty: float = 1.0) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not (0.0 < duty <= 1.0):
+            raise ValueError("duty must be in (0, 1]")
+        self.workers = workers
+        self.duty = duty
+
+    def _spin(self) -> None:
+        slice_s = 0.01
+        busy = slice_s * self.duty
+        idle = slice_s - busy
+        x = 1.0001
+        while not self._stop.is_set():
+            deadline = time.perf_counter() + busy
+            while time.perf_counter() < deadline:
+                x = x * 1.0000001 + 1e-9
+            if idle > 0:
+                self._stop.wait(idle)
+        self._sink = x
+
+    def _workers(self) -> list[threading.Thread]:
+        return [
+            threading.Thread(target=self._spin, name=f"cpu-load-{i}")
+            for i in range(self.workers)
+        ]

@@ -1,0 +1,42 @@
+"""Background disk load: a continuous writer thread."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+
+from repro.load.base import LoadGenerator
+
+__all__ = ["DiskLoad"]
+
+
+class DiskLoad(LoadGenerator):
+    """Writes ``rate_bytes_per_s`` to a scratch file while running."""
+
+    def __init__(self, rate_bytes_per_s: float = 1 << 20, directory: str | None = None) -> None:
+        super().__init__()
+        if rate_bytes_per_s <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate_bytes_per_s
+        self.directory = directory
+        self.bytes_written = 0
+
+    def _write(self) -> None:
+        chunk = b"\x00" * 65536
+        interval = len(chunk) / self.rate
+        with tempfile.NamedTemporaryFile(
+            prefix="synapse-load-", dir=self.directory, delete=True
+        ) as handle:
+            while not self._stop.is_set():
+                handle.write(chunk)
+                handle.flush()
+                self.bytes_written += len(chunk)
+                # Bound the scratch file: rewind after 64 MB.
+                if handle.tell() > (64 << 20):
+                    handle.seek(0)
+                    os.ftruncate(handle.fileno(), 0)
+                self._stop.wait(interval)
+
+    def _workers(self) -> list[threading.Thread]:
+        return [threading.Thread(target=self._write, name="disk-load")]

@@ -1,0 +1,35 @@
+"""Background memory load: hold a resident allocation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.load.base import LoadGenerator
+
+__all__ = ["MemoryLoad"]
+
+
+class MemoryLoad(LoadGenerator):
+    """Allocates and holds ``nbytes`` of touched memory while running."""
+
+    def __init__(self, nbytes: int) -> None:
+        super().__init__()
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.nbytes = nbytes
+        self._buffer: bytearray | None = None
+
+    def _hold(self) -> None:
+        buf = bytearray(self.nbytes)
+        buf[::4096] = b"\x01" * len(buf[::4096])
+        self._buffer = buf
+        self._stop.wait()
+        self._buffer = None
+
+    def _workers(self) -> list[threading.Thread]:
+        return [threading.Thread(target=self._hold, name="mem-load")]
+
+    @property
+    def held_bytes(self) -> int:
+        """Bytes currently held resident (0 when stopped)."""
+        return len(self._buffer) if self._buffer is not None else 0

@@ -1,0 +1,11 @@
+"""Parallel emulation: scaling model plus OpenMP/MPI host-plane modes."""
+
+from repro.parallel.mpi import consume_cycles_multiprocess
+from repro.parallel.openmp import consume_cycles_threaded
+from repro.parallel.scaling import ScalingModel
+
+__all__ = [
+    "ScalingModel",
+    "consume_cycles_multiprocess",
+    "consume_cycles_threaded",
+]

@@ -1,0 +1,47 @@
+"""Process-based (OpenMPI-style) parallel compute emulation, host plane.
+
+The paper's MPI emulation mode launches one process per rank and
+distributes the compute load; every rank burns its share of the cycle
+budget.  We use ``multiprocessing`` with the fork context so that the
+parent's kernel calibration is inherited — re-calibrating in every rank
+would skew short emulations.
+
+Communication is *not* emulated, faithfully to the paper: "Synapse at
+this point makes no attempt to emulate any communication" (E.4).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.kernels.base import ComputeKernel
+
+__all__ = ["consume_cycles_multiprocess"]
+
+
+def _rank_worker(kernel: ComputeKernel, cycles: float, frequency: float) -> None:
+    kernel.execute_cycles(cycles, frequency)
+
+
+def consume_cycles_multiprocess(
+    kernel: ComputeKernel, cycles: float, processes: int, frequency: float
+) -> None:
+    """Consume ``cycles`` distributed over ``processes`` ranks.
+
+    The kernel must already be calibrated by the caller (fork inherits
+    the calibration); each rank receives ``cycles / processes``.
+    """
+    if processes <= 1:
+        kernel.execute_cycles(cycles, frequency)
+        return
+    kernel.calibrate(frequency)
+    share = cycles / processes
+    ctx = multiprocessing.get_context("fork")
+    ranks = [
+        ctx.Process(target=_rank_worker, args=(kernel, share, frequency))
+        for _ in range(processes)
+    ]
+    for rank in ranks:
+        rank.start()
+    for rank in ranks:
+        rank.join()

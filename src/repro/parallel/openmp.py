@@ -1,0 +1,27 @@
+"""Thread-based (OpenMP-style) parallel compute emulation, host plane.
+
+E.4 distributes a single-core profile's compute load across threads.
+NumPy's BLAS kernels release the GIL, so plain Python threads achieve
+real multi-core execution here.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import ComputeKernel
+from repro.kernels.openmp import OpenMPKernel
+
+__all__ = ["consume_cycles_threaded"]
+
+
+def consume_cycles_threaded(
+    kernel: ComputeKernel, cycles: float, threads: int, frequency: float
+) -> int:
+    """Consume ``cycles`` using ``threads`` worker threads; returns units.
+
+    The cycle budget is the *total* across threads (distribution, not
+    duplication — matching the paper's OpenMP emulation mode).
+    """
+    if threads <= 1:
+        return kernel.execute_cycles(cycles, frequency)
+    wrapper = OpenMPKernel(kernel, threads=threads)
+    return wrapper.execute_cycles(cycles, frequency)

@@ -1,0 +1,50 @@
+"""Simulation plane: virtual machines, clock, engine and backend.
+
+This subpackage lets the *same* profiler/emulator code that observes real
+Linux processes run against deterministic models of the paper's six
+experiment machines — the "profile once, emulate anywhere" loop without
+the testbed.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.sim.backend import SimBackend
+from repro.sim.clock import VirtualClock
+from repro.sim.demands import (
+    ComputeDemand,
+    IODemand,
+    MemoryDemand,
+    NetworkDemand,
+    SleepDemand,
+)
+from repro.sim.engine import Engine, ExecutionRecord, IOEvent
+from repro.sim.filesystem import FilesystemModel
+from repro.sim.machines import get_machine, list_machines
+from repro.sim.noise import NoiseModel, seed_from
+from repro.sim.process import SimProcess
+from repro.sim.resource import CPUModel, MachineSpec, MemoryModel, WorkloadClassSpec
+from repro.sim.workload import Phase, SimWorkload, Stream
+
+__all__ = [
+    "ComputeDemand",
+    "CPUModel",
+    "Engine",
+    "ExecutionRecord",
+    "FilesystemModel",
+    "IODemand",
+    "IOEvent",
+    "MachineSpec",
+    "MemoryDemand",
+    "MemoryModel",
+    "NetworkDemand",
+    "NoiseModel",
+    "Phase",
+    "SimBackend",
+    "SimProcess",
+    "SimWorkload",
+    "SleepDemand",
+    "Stream",
+    "VirtualClock",
+    "WorkloadClassSpec",
+    "get_machine",
+    "list_machines",
+    "seed_from",
+]

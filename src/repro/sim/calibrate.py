@@ -1,0 +1,145 @@
+"""Calibration of machine-model parameters from measurements.
+
+The six machine models in :mod:`repro.sim.machines` were calibrated by
+hand against the paper's reported numbers.  This module provides the
+tooling to calibrate *new* models from measurements — the step a user
+performs when extending the simulation plane to their own cluster:
+
+* :func:`fit_filesystem` — least-squares fit of per-request latency and
+  bandwidth from ``(bytes, block_size, seconds)`` I/O timings.  The
+  filesystem cost model is linear in its parameters
+  (``t = ops * latency + bytes / bandwidth``), so the fit is exact.
+* :func:`fit_cpu` — fit effective instructions/second (and, with a known
+  clock, IPC) from ``(instructions, seconds)`` compute timings.
+* :func:`machine_from_host` — a MachineSpec approximating *this* host,
+  so host-plane profiles can be replayed on the simulation plane.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import CalibrationError
+from repro.host import hostinfo
+from repro.parallel.scaling import ScalingModel
+from repro.sim.filesystem import FilesystemModel
+from repro.sim.resource import CPUModel, MachineSpec, MemoryModel, WorkloadClassSpec
+
+__all__ = ["IOSample", "ComputeSample", "fit_filesystem", "fit_cpu", "machine_from_host"]
+
+
+@dataclass(frozen=True)
+class IOSample:
+    """One I/O timing measurement."""
+
+    nbytes: int
+    block_size: int
+    seconds: float
+    op: str = "write"
+
+
+@dataclass(frozen=True)
+class ComputeSample:
+    """One compute timing measurement."""
+
+    instructions: float
+    seconds: float
+
+
+def _fit_linear(ops: np.ndarray, nbytes: np.ndarray, seconds: np.ndarray) -> tuple[float, float]:
+    """Solve t = ops*latency + bytes*inv_bw for (latency, inv_bw) >= 0."""
+    design = np.column_stack([ops, nbytes])
+    coeffs, *_ = np.linalg.lstsq(design, seconds, rcond=None)
+    latency, inv_bw = (max(0.0, float(c)) for c in coeffs)
+    return latency, inv_bw
+
+
+def fit_filesystem(samples: Iterable[IOSample], name: str = "fitted") -> FilesystemModel:
+    """Fit a :class:`FilesystemModel` from I/O timing samples.
+
+    Needs at least two distinct block sizes per operation direction
+    present in the data; directions missing entirely keep conservative
+    defaults.  Read caching is folded into the effective read bandwidth
+    (``cache_hit_fraction=0``).
+    """
+    samples = list(samples)
+    if not samples:
+        raise CalibrationError("need at least one I/O sample")
+    kwargs: dict[str, float] = {"cache_hit_fraction": 0.0}
+    for op in ("read", "write"):
+        subset = [s for s in samples if s.op == op]
+        if not subset:
+            continue
+        if len({s.block_size for s in subset}) < 2:
+            raise CalibrationError(
+                f"{op} samples must cover at least two block sizes to "
+                "separate latency from bandwidth"
+            )
+        ops = np.array([math.ceil(s.nbytes / s.block_size) for s in subset], dtype=float)
+        nbytes = np.array([s.nbytes for s in subset], dtype=float)
+        seconds = np.array([s.seconds for s in subset], dtype=float)
+        latency, inv_bw = _fit_linear(ops, nbytes, seconds)
+        if inv_bw <= 0:
+            raise CalibrationError(f"degenerate {op} bandwidth fit")
+        kwargs[f"{op}_latency"] = latency
+        kwargs[f"{op}_bandwidth"] = 1.0 / inv_bw
+    return FilesystemModel(name=name, kind="fitted", **kwargs)
+
+
+def fit_cpu(
+    samples: Sequence[ComputeSample], frequency: float | None = None
+) -> tuple[float, float | None]:
+    """Fit effective instruction rate from compute timings.
+
+    Returns ``(instructions_per_second, ipc)``; IPC requires a known
+    clock ``frequency``.  The fit is a zero-intercept least squares
+    (startup costs should be excluded from the samples, or measured as
+    the residual of a separate short run).
+    """
+    if len(samples) < 1:
+        raise CalibrationError("need at least one compute sample")
+    instructions = np.array([s.instructions for s in samples], dtype=float)
+    seconds = np.array([s.seconds for s in samples], dtype=float)
+    if np.any(seconds <= 0) or np.any(instructions <= 0):
+        raise CalibrationError("compute samples must be positive")
+    rate = float(instructions @ instructions / (instructions @ seconds))
+    ipc = rate / frequency if frequency else None
+    return rate, ipc
+
+
+def machine_from_host(name: str = "host") -> MachineSpec:
+    """A simulation-plane approximation of the current host.
+
+    Clock, core count and memory come from host discovery; workload-class
+    IPCs default to the generic modern-CPU values.  This lets host-plane
+    profiles be replayed through the simulation engine ("what would this
+    app have done on Titan?" starts from a faithful model of *here*).
+    """
+    frequency = hostinfo.cpu_frequency()
+    cores = hostinfo.cpu_count()
+    memory = hostinfo.total_memory() or (8 << 30)
+    classes = {
+        "app.md": WorkloadClassSpec(ipc=2.0, stall_ratio=0.5),
+        "app.generic": WorkloadClassSpec(ipc=1.8, stall_ratio=0.6),
+        "app.startup": WorkloadClassSpec(ipc=1.1, stall_ratio=0.9),
+        "kernel.asm": WorkloadClassSpec(ipc=3.0, calib_ipc=3.09, stall_ratio=0.12),
+        "kernel.c": WorkloadClassSpec(ipc=2.6, calib_ipc=2.65, stall_ratio=0.45),
+        "kernel.python": WorkloadClassSpec(ipc=0.55, calib_ipc=0.58, stall_ratio=1.4),
+    }
+    return MachineSpec(
+        name=name,
+        description=f"fitted from host ({cores} cores @ {frequency / 1e9:.2f} GHz)",
+        cpu=CPUModel(frequency=frequency, cores=cores, classes=classes),
+        memory_bytes=memory,
+        memory=MemoryModel(),
+        filesystems={"local": FilesystemModel(name="local", kind="local-ssd")},
+        scaling={
+            "openmp": ScalingModel(0.985, 0.005),
+            "mpi": ScalingModel(0.985, 0.006),
+        },
+        noise_sigma=0.01,
+    )

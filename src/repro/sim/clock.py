@@ -1,0 +1,35 @@
+"""Virtual wall clock for the simulation plane.
+
+The profiler's sampling loop is written against a backend clock; on the
+host plane that is ``time.monotonic`` + ``time.sleep``, on the simulation
+plane it is this object.  Advancing the clock is the *only* way virtual
+time passes, which makes every simulated experiment deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds (negative is an error)."""
+        if dt < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to ``t`` (no-op when ``t`` is in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now

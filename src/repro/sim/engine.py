@@ -1,0 +1,359 @@
+"""The discrete-event execution engine of the simulation plane.
+
+The engine converts a :class:`~repro.sim.workload.SimWorkload` into an
+:class:`ExecutionRecord`: the full virtual-time evolution of every
+counter a watcher can observe (cycles, instructions, bytes, RSS, ...).
+Profiling a simulated run then means *sampling these timelines* — the
+same black-box view `/proc` and ``perf stat`` give the real profiler.
+
+Execution semantics (matching §4.4 of the paper):
+
+* phases run strictly in order — a barrier separates them; phase *n+1*
+  never starts before every stream of phase *n* finished;
+* streams within a phase start together at the phase start and run their
+  demands serially;
+* contention is modelled per phase: the total number of CPU workers
+  beyond the core count slows compute demands proportionally, and
+  concurrent I/O streams targeting the same filesystem share its
+  bandwidth;
+* demand durations and counter increments receive deterministic
+  lognormal noise (see :mod:`repro.sim.noise`).
+
+The cycle accounting implements the paper's E.3 mechanism: a demand
+carrying ``calibrated_cycles`` (i.e. an emulation kernel told to consume
+a target number of cycles) consumes ``target * cycle_bias`` cycles, where
+the bias is the machine's calibration-vs-sustained IPC ratio for that
+kernel class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.sim.demands import (
+    ComputeDemand,
+    Demand,
+    IODemand,
+    MemoryDemand,
+    NetworkDemand,
+    SleepDemand,
+)
+from repro.sim.noise import NoiseModel
+from repro.sim.resource import MachineSpec
+from repro.sim.workload import Phase, SimWorkload, Stream
+from repro.util.timeseries import TimeSeries
+
+__all__ = ["Engine", "ExecutionRecord", "IOEvent"]
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One I/O demand as seen by the experimental blktrace watcher."""
+
+    t: float
+    op: str
+    nbytes: int
+    block_size: int
+    filesystem: str
+
+
+@dataclass
+class _Segment:
+    """Internal: one demand's contribution to the counter timelines."""
+
+    t0: float
+    t1: float
+    counters: dict[str, float]
+
+
+@dataclass
+class ExecutionRecord:
+    """Complete observable history of one simulated process execution."""
+
+    machine: MachineSpec
+    duration: float
+    counters: dict[str, TimeSeries]
+    levels: dict[str, TimeSeries]
+    io_events: list[IOEvent]
+    phase_bounds: list[tuple[float, float]]
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def counters_at(self, t: float) -> dict[str, float]:
+        """All cumulative counters and levels evaluated at time ``t``."""
+        out = {name: ts.value_at(t) for name, ts in self.counters.items()}
+        out.update({name: ts.value_at(t) for name, ts in self.levels.items()})
+        out["time.runtime"] = min(max(t, 0.0), self.duration)
+        return out
+
+    def totals(self) -> dict[str, float]:
+        """Final counter values (cumulative) and maxima (levels)."""
+        out = {name: ts.last() if len(ts) else 0.0 for name, ts in self.counters.items()}
+        out.update({name: ts.max() for name, ts in self.levels.items()})
+        out["time.runtime"] = self.duration
+        return out
+
+
+class Engine:
+    """Executes workloads against one machine model."""
+
+    def __init__(self, machine: MachineSpec, noise: NoiseModel | None = None) -> None:
+        self.machine = machine
+        self.noise = noise if noise is not None else NoiseModel.silent()
+
+    # -- demand costing ------------------------------------------------------
+
+    def _cost_compute(self, demand: ComputeDemand) -> tuple[float, dict[str, float]]:
+        cpu = self.machine.cpu
+        spec = cpu.spec(demand.workload_class)
+        if demand.calibrated_cycles is not None:
+            cycles = demand.calibrated_cycles * spec.cycle_bias
+            instructions = cycles * spec.ipc
+        else:
+            instructions = demand.instructions
+            cycles = cpu.cycles_for(instructions, demand.workload_class)
+        scaling = self.machine.scaling_model(demand.paradigm)
+        workers = min(demand.threads, cpu.cores)
+        factor = scaling.time_factor(workers) if workers > 1 else 1.0
+        overhead = scaling.overhead_cycles_fraction(workers) if workers > 1 else 0.0
+        cycles_total = cycles * (1.0 + overhead)
+        instr_total = instructions * (1.0 + overhead)
+        duration = cpu.seconds_for_cycles(cycles) * factor
+        stall_ratio = (
+            demand.stall_ratio if demand.stall_ratio is not None else spec.stall_ratio
+        )
+        stalled = cycles_total * stall_ratio
+        counters = {
+            "cpu.instructions": instr_total,
+            "cpu.cycles_used": cycles_total,
+            "cpu.cycles_stalled_front": stalled * spec.stall_front_fraction,
+            "cpu.cycles_stalled_back": stalled * (1.0 - spec.stall_front_fraction),
+            "cpu.flops": instr_total * demand.flops_per_instruction,
+        }
+        return duration, counters
+
+    def _cost_io(self, demand: IODemand) -> tuple[float, dict[str, float]]:
+        fs = self.machine.filesystem(demand.filesystem)
+        duration = fs.io_time(demand.bytes_read, demand.bytes_written, demand.block_size)
+        counters = {
+            "io.bytes_read": float(demand.bytes_read),
+            "io.bytes_written": float(demand.bytes_written),
+        }
+        return duration, counters
+
+    def _cost_memory(self, demand: MemoryDemand) -> tuple[float, dict[str, float]]:
+        mem = self.machine.memory
+        duration = mem.alloc_time(demand.allocate, demand.block_size) + mem.free_time(
+            demand.free, demand.block_size
+        )
+        counters = {
+            "mem.allocated": float(demand.allocate),
+            "mem.freed": float(demand.free),
+        }
+        return duration, counters
+
+    def _cost_network(self, demand: NetworkDemand) -> tuple[float, dict[str, float]]:
+        nbytes = demand.bytes_sent + demand.bytes_received
+        ops = -(-nbytes // demand.block_size) if nbytes else 0
+        duration = ops * self.machine.net_latency + nbytes / self.machine.net_bandwidth
+        counters = {
+            "net.bytes_written": float(demand.bytes_sent),
+            "net.bytes_read": float(demand.bytes_received),
+        }
+        return duration, counters
+
+    def _cost(self, demand: Demand) -> tuple[float, dict[str, float]]:
+        if isinstance(demand, ComputeDemand):
+            return self._cost_compute(demand)
+        if isinstance(demand, IODemand):
+            return self._cost_io(demand)
+        if isinstance(demand, MemoryDemand):
+            return self._cost_memory(demand)
+        if isinstance(demand, NetworkDemand):
+            return self._cost_network(demand)
+        if isinstance(demand, SleepDemand):
+            return demand.seconds, {}
+        raise WorkloadError(f"unsupported demand type {type(demand).__name__}")
+
+    # -- contention -----------------------------------------------------------
+
+    def _phase_factors(self, phase: Phase) -> tuple[float, dict[str, float]]:
+        """CPU and per-filesystem slowdown factors for one phase."""
+        cores = self.machine.cpu.cores
+        cpu_workers = 0
+        fs_streams: dict[str, int] = {}
+        for stream in phase.streams:
+            threads = [
+                min(d.threads, cores)
+                for d in stream.demands
+                if isinstance(d, ComputeDemand)
+            ]
+            if threads:
+                cpu_workers += max(threads)
+            fs_hit = {
+                d.filesystem for d in stream.demands if isinstance(d, IODemand)
+            }
+            for fs in fs_hit:
+                fs_streams[fs] = fs_streams.get(fs, 0) + 1
+        f_cpu = max(1.0, cpu_workers / cores)
+        f_io = {fs: max(1.0, float(n)) for fs, n in fs_streams.items()}
+        return f_cpu, f_io
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, workload: SimWorkload) -> ExecutionRecord:
+        """Execute a workload; returns its full observable history."""
+        segments: list[_Segment] = []
+        rss_steps: list[tuple[float, float]] = [(0.0, float(workload.base_rss))]
+        thread_deltas: list[tuple[float, float]] = []
+        io_events: list[IOEvent] = []
+        phase_bounds: list[tuple[float, float]] = []
+
+        rss = float(workload.base_rss)
+        t_phase = 0.0
+        for phase in workload.phases:
+            f_cpu, f_io = self._phase_factors(phase)
+            phase_end = t_phase
+            # RSS changes must be applied in global time order across
+            # streams; collect them first.
+            pending_rss: list[tuple[float, float]] = []
+            for stream in phase.streams:
+                t = t_phase
+                for demand in stream.demands:
+                    duration, counters = self._cost(demand)
+                    if isinstance(demand, ComputeDemand):
+                        duration *= f_cpu
+                    elif isinstance(demand, IODemand):
+                        duration *= f_io.get(demand.filesystem, 1.0)
+                    duration = self.noise.duration(duration)
+                    counters = {
+                        name: self.noise.counter(value)
+                        for name, value in counters.items()
+                    }
+                    t0, t1 = t, t + duration
+                    if counters:
+                        segments.append(_Segment(t0, t1, counters))
+                    if isinstance(demand, ComputeDemand) and demand.threads > 1:
+                        workers = min(demand.threads, self.machine.cpu.cores)
+                        thread_deltas.append((t0, float(workers - 1)))
+                        thread_deltas.append((t1, -float(workers - 1)))
+                    if isinstance(demand, MemoryDemand):
+                        pending_rss.append((t1, float(demand.allocate - demand.free)))
+                    if isinstance(demand, IODemand):
+                        if demand.bytes_read:
+                            io_events.append(
+                                IOEvent(t0, "read", demand.bytes_read, demand.block_size, demand.filesystem)
+                            )
+                        if demand.bytes_written:
+                            io_events.append(
+                                IOEvent(t0, "write", demand.bytes_written, demand.block_size, demand.filesystem)
+                            )
+                    t = t1
+                phase_end = max(phase_end, t)
+            for when, delta in sorted(pending_rss):
+                rss = max(0.0, rss + delta)
+                rss_steps.append((when, rss))
+            phase_bounds.append((t_phase, phase_end))
+            t_phase = phase_end
+
+        duration = t_phase
+        counters = self._build_counters(segments, duration)
+        levels = {
+            "mem.rss": _step_series(rss_steps, duration),
+            "mem.peak": _running_max(_step_series(rss_steps, duration)),
+            "cpu.threads": _thread_series(thread_deltas, duration),
+        }
+        levels["sys.load_cpu"] = TimeSeries(
+            levels["cpu.threads"].times,
+            levels["cpu.threads"].values / self.machine.cpu.cores,
+        )
+        metadata = dict(workload.metadata)
+        metadata.setdefault("workload_name", workload.name)
+        return ExecutionRecord(
+            machine=self.machine,
+            duration=duration,
+            counters=counters,
+            levels=levels,
+            io_events=io_events,
+            phase_bounds=phase_bounds,
+            metadata=metadata,
+        )
+
+    @staticmethod
+    def _build_counters(
+        segments: list[_Segment], duration: float
+    ) -> dict[str, TimeSeries]:
+        """Turn accrual segments into piecewise-linear cumulative series."""
+        names: set[str] = set()
+        for seg in segments:
+            names.update(seg.counters)
+        out: dict[str, TimeSeries] = {}
+        for name in sorted(names):
+            t0s, t1s, amounts = [], [], []
+            for seg in segments:
+                amount = seg.counters.get(name)
+                if amount:
+                    t0s.append(seg.t0)
+                    t1s.append(max(seg.t1, seg.t0 + 1e-12))
+                    amounts.append(amount)
+            if not t0s:
+                out[name] = TimeSeries([0.0, duration], [0.0, 0.0])
+                continue
+            t0a = np.asarray(t0s)
+            t1a = np.asarray(t1s)
+            amt = np.asarray(amounts)
+            rates = amt / (t1a - t0a)
+            bps = np.unique(np.concatenate([[0.0, duration], t0a, t1a]))
+            delta = np.zeros(bps.size)
+            i0 = np.searchsorted(bps, t0a)
+            i1 = np.searchsorted(bps, t1a)
+            np.add.at(delta, i0, rates)
+            np.add.at(delta, i1, -rates)
+            rate_per_interval = np.cumsum(delta)[:-1]
+            increments = rate_per_interval * np.diff(bps)
+            values = np.concatenate([[0.0], np.cumsum(increments)])
+            # Guard against tiny negative drift from float cancellation.
+            values = np.maximum.accumulate(np.maximum(values, 0.0))
+            out[name] = TimeSeries(bps, values)
+        return out
+
+
+def _step_series(steps: list[tuple[float, float]], duration: float) -> TimeSeries:
+    """Build a piecewise-constant series from (time, new_level) steps."""
+    steps = sorted(steps)
+    times: list[float] = []
+    values: list[float] = []
+    level = steps[0][1] if steps else 0.0
+    times.append(0.0)
+    values.append(level)
+    for when, new_level in steps:
+        if when > 0.0:
+            times.extend([when, when])
+            values.extend([level, new_level])
+        level = new_level
+    times.append(max(duration, times[-1]))
+    values.append(level)
+    return TimeSeries(times, values)
+
+
+def _thread_series(deltas: list[tuple[float, float]], duration: float) -> TimeSeries:
+    """Active-worker level over time from +/- delta events (base 1)."""
+    if not deltas:
+        return TimeSeries([0.0, duration], [1.0, 1.0])
+    events = sorted(deltas)
+    steps: list[tuple[float, float]] = []
+    level = 1.0
+    for when, delta in events:
+        level += delta
+        steps.append((when, max(1.0, level)))
+    return _step_series([(0.0, 1.0)] + steps, duration)
+
+
+def _running_max(series: TimeSeries) -> TimeSeries:
+    """Monotone running maximum of a level series (peak RSS)."""
+    if not len(series):
+        return series
+    return TimeSeries(series.times, np.maximum.accumulate(series.values))

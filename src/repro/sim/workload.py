@@ -1,0 +1,93 @@
+"""Workload structures executed by the simulation engine.
+
+A :class:`SimWorkload` is an ordered list of :class:`Phase`s separated by
+barriers; each phase holds one or more concurrent :class:`Stream`s of
+demands executed serially within the stream.  This is exactly the
+structure of the paper's Fig 2: one emulation *sample* becomes one phase
+whose streams are the emulation atoms ("all resource consumptions for a
+specific sample are started immediately and concurrently ... emulation
+samples end when the last resource consumption is completed").
+Application models use the same structure (usually a single long phase
+with one or two streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.demands import Demand
+
+__all__ = ["Stream", "Phase", "SimWorkload"]
+
+
+@dataclass
+class Stream:
+    """A serial sequence of demands (one virtual thread of activity)."""
+
+    demands: list[Demand] = field(default_factory=list)
+    name: str = ""
+
+    def add(self, demand: Demand) -> "Stream":
+        """Append a demand; returns self for chaining."""
+        self.demands.append(demand)
+        return self
+
+    @property
+    def empty(self) -> bool:
+        """Whether the stream has no demands."""
+        return not self.demands
+
+
+@dataclass
+class Phase:
+    """Concurrent streams bounded by barriers on both sides."""
+
+    streams: list[Stream] = field(default_factory=list)
+    name: str = ""
+
+    def stream(self, name: str = "") -> Stream:
+        """Create, register and return a new stream in this phase."""
+        stream = Stream(name=name)
+        self.streams.append(stream)
+        return stream
+
+    @property
+    def empty(self) -> bool:
+        """Whether all streams are empty."""
+        return all(s.empty for s in self.streams)
+
+
+@dataclass
+class SimWorkload:
+    """A complete virtual process for the simulation engine.
+
+    Attributes
+    ----------
+    name:
+        Command-line-like identifier; becomes the profile's command when
+        the workload is profiled.
+    phases:
+        Barrier-separated phases (see module docstring).
+    base_rss:
+        Resident set size at process start (interpreter + code footprint);
+        memory demands move the RSS level relative to this base.
+    metadata:
+        Free-form descriptive data carried into profiles.
+    """
+
+    name: str
+    phases: list[Phase] = field(default_factory=list)
+    base_rss: int = 2 << 20
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def phase(self, name: str = "") -> Phase:
+        """Create, register and return a new phase."""
+        phase = Phase(name=name)
+        self.phases.append(phase)
+        return phase
+
+    @property
+    def n_demands(self) -> int:
+        """Total number of demands across all phases and streams."""
+        return sum(len(s.demands) for p in self.phases for s in p.streams)

@@ -1,0 +1,111 @@
+"""Profile store protocol and the in-memory reference implementation.
+
+Stores index profiles by their ``(command, tags)`` search key, exactly as
+the paper describes (§4): the profile method "stores the results on disk
+or in a MongoDB database; the application startup command and custom tags
+are used as search index".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from typing import Any
+
+from repro.core.errors import ProfileNotFoundError
+from repro.core.samples import Profile
+from repro.core.tags import normalize_command, normalize_tags, tags_match
+from repro.storage.query import matches
+
+__all__ = ["ProfileStore", "MemoryStore"]
+
+
+class ProfileStore(ABC):
+    """Common interface of the file-based and Mongo-like profile stores."""
+
+    @abstractmethod
+    def put(self, profile: Profile) -> str:
+        """Persist a profile; returns its store-assigned id.
+
+        Implementations may mutate-by-copy (e.g. truncate samples to fit a
+        document size limit); the stored object is what :meth:`find`
+        returns later, which may differ from the argument.
+        """
+
+    @abstractmethod
+    def _iter_profiles(self):
+        """Yield ``(id, Profile)`` pairs for all stored profiles."""
+
+    # -- shared query logic ---------------------------------------------------
+
+    def find(
+        self,
+        command: object = None,
+        tags: object = None,
+        query: Mapping[str, Any] | None = None,
+    ) -> list[Profile]:
+        """All stored profiles matching command, tags and optional query.
+
+        ``command`` matches exactly (after normalisation); ``tags``
+        matches by subset; ``query`` is a Mongo-style filter over the
+        profile's dict form.  Results are ordered oldest-first.
+        """
+        want_command = normalize_command(command) if command is not None else None
+        results: list[Profile] = []
+        for _pid, profile in self._iter_profiles():
+            if want_command is not None and profile.command != want_command:
+                continue
+            if not tags_match(profile.tags, tags):
+                continue
+            if query is not None and not matches(profile.to_dict(), query):
+                continue
+            results.append(profile)
+        results.sort(key=lambda p: p.created)
+        return results
+
+    def get(self, command: object, tags: object = None) -> Profile:
+        """The most recent matching profile (raises if none exists)."""
+        found = self.find(command, tags)
+        if not found:
+            raise ProfileNotFoundError(
+                f"no profile for command={normalize_command(command)!r} "
+                f"tags={normalize_tags(tags)!r}"
+            )
+        return found[-1]
+
+    def count(self) -> int:
+        """Number of stored profiles."""
+        return sum(1 for _ in self._iter_profiles())
+
+    def keys(self) -> list[tuple[str, tuple[str, ...], int]]:
+        """Distinct ``(command, tags, n_profiles)`` groups in the store."""
+        groups: dict[tuple[str, tuple[str, ...]], int] = {}
+        for _pid, profile in self._iter_profiles():
+            key = (profile.command, profile.tags)
+            groups[key] = groups.get(key, 0) + 1
+        return sorted((cmd, tags, n) for (cmd, tags), n in groups.items())
+
+
+class MemoryStore(ProfileStore):
+    """Volatile store; useful for tests and single-process experiments."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, Profile] = {}
+        self._next_id = 0
+
+    def put(self, profile: Profile) -> str:
+        pid = f"mem-{self._next_id}"
+        self._next_id += 1
+        self._profiles[pid] = profile
+        return pid
+
+    def delete(self, pid: str) -> None:
+        """Remove one profile by id (missing ids raise ``KeyError``)."""
+        del self._profiles[pid]
+
+    def clear(self) -> None:
+        """Remove all stored profiles."""
+        self._profiles.clear()
+
+    def _iter_profiles(self):
+        yield from self._profiles.items()

@@ -1,0 +1,75 @@
+"""File-based profile storage.
+
+One JSON document per profile, stored under a root directory.  The paper
+notes file-based storage "poses no limit on the number of samples"
+(§4.5) — unlike the Mongo backend — and that property is preserved here.
+
+File layout::
+
+    <root>/<key-hash>/<created-ns>-<seq>.json
+
+where ``key-hash`` identifies the ``(command, tags)`` group, keeping
+lookups for one application cheap without a separate index file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.errors import StoreError
+from repro.core.samples import Profile
+from repro.storage.base import ProfileStore
+
+__all__ = ["FileStore"]
+
+
+def _key_hash(command: str, tags: tuple[str, ...]) -> str:
+    payload = json.dumps([command, list(tags)]).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+class FileStore(ProfileStore):
+    """Profile store rooted at a directory (created on demand)."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+
+    def put(self, profile: Profile) -> str:
+        group = self.root / _key_hash(profile.command, profile.tags)
+        group.mkdir(parents=True, exist_ok=True)
+        self._seq += 1
+        name = f"{int(profile.created * 1e9):020d}-{self._seq:06d}.json"
+        path = group / name
+        tmp = path.with_suffix(".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(profile.to_dict(), handle)
+            os.replace(tmp, path)
+        except OSError as exc:  # disk full, permissions, ...
+            raise StoreError(f"cannot write profile to {path}: {exc}") from exc
+        return str(path.relative_to(self.root))
+
+    def delete(self, pid: str) -> None:
+        """Remove one stored profile by the id :meth:`put` returned."""
+        path = self.root / pid
+        try:
+            path.unlink()
+        except FileNotFoundError as exc:
+            raise StoreError(f"no stored profile {pid!r}") from exc
+
+    def _iter_profiles(self):
+        for group in sorted(self.root.iterdir()):
+            if not group.is_dir():
+                continue
+            for path in sorted(group.glob("*.json")):
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        data = json.load(handle)
+                except (OSError, json.JSONDecodeError) as exc:
+                    raise StoreError(f"corrupt profile file {path}: {exc}") from exc
+                yield str(path.relative_to(self.root)), Profile.from_dict(data)

@@ -1,0 +1,279 @@
+"""Embedded Mongo-like document database and the profile store on top.
+
+The original Synapse pushes profiles into MongoDB.  Networked MongoDB is
+not available here, so this module implements a small, faithful stand-in:
+
+* :class:`MongoLite` — a database of named collections of JSON documents
+  with Mongo-style queries (see :mod:`repro.storage.query`), optional
+  file persistence, and — crucially — **MongoDB's 16 MB per-document
+  limit**.  The paper calls this limit out explicitly (§4.5): it caps the
+  number of samples a profile can hold and caused the largest E.1
+  configuration to lose a sample.
+* :class:`MongoStore` — the :class:`~repro.storage.base.ProfileStore`
+  backed by a ``MongoLite`` collection.  When a profile document exceeds
+  the limit the store truncates trailing samples until it fits and flags
+  the stored profile ``truncated`` (strict mode raises instead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import DocumentTooLargeError, StoreError
+from repro.core.samples import Profile
+from repro.storage.base import ProfileStore
+from repro.storage.query import matches
+
+__all__ = ["MongoLite", "Collection", "MongoStore", "MAX_DOCUMENT_BYTES"]
+
+#: MongoDB's BSON document size limit (16 MB), as cited by the paper.
+MAX_DOCUMENT_BYTES = 16 * 1024 * 1024
+
+
+def document_bytes(document: Mapping[str, Any]) -> int:
+    """Serialised size of a document (JSON stands in for BSON)."""
+    return len(json.dumps(document).encode("utf-8"))
+
+
+class Collection:
+    """One named collection of documents inside a :class:`MongoLite`."""
+
+    def __init__(self, name: str, limit_bytes: int = MAX_DOCUMENT_BYTES) -> None:
+        self.name = name
+        self.limit_bytes = limit_bytes
+        self._docs: dict[int, dict[str, Any]] = {}
+        self._next_id = 0
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> int:
+        """Insert a document; returns its ``_id``.
+
+        Raises :class:`DocumentTooLargeError` when the serialised document
+        exceeds the per-document limit (MongoDB behaviour).
+        """
+        doc = dict(document)
+        size = document_bytes(doc)
+        if size > self.limit_bytes:
+            raise DocumentTooLargeError(
+                f"document of {size} bytes exceeds the "
+                f"{self.limit_bytes}-byte limit of collection {self.name!r}"
+            )
+        doc_id = doc.setdefault("_id", self._next_id)
+        if doc_id in self._docs:
+            raise StoreError(f"duplicate _id {doc_id!r} in collection {self.name!r}")
+        self._next_id = max(self._next_id, int(doc_id) + 1) if isinstance(doc_id, int) else self._next_id + 1
+        self._docs[doc_id] = doc
+        return doc_id
+
+    def insert_many(self, documents) -> list[int]:
+        """Insert several documents; returns their ids."""
+        return [self.insert_one(doc) for doc in documents]
+
+    def delete_many(self, query: Mapping[str, Any] | None = None) -> int:
+        """Delete matching documents; returns the number removed."""
+        doomed = [doc_id for doc_id, doc in self._docs.items() if matches(doc, query)]
+        for doc_id in doomed:
+            del self._docs[doc_id]
+        return len(doomed)
+
+    def replace_one(self, query: Mapping[str, Any], document: Mapping[str, Any]) -> bool:
+        """Replace the first matching document; returns True if replaced."""
+        for doc_id, doc in self._docs.items():
+            if matches(doc, query):
+                new_doc = dict(document)
+                new_doc["_id"] = doc_id
+                size = document_bytes(new_doc)
+                if size > self.limit_bytes:
+                    raise DocumentTooLargeError(
+                        f"replacement document of {size} bytes exceeds the limit"
+                    )
+                self._docs[doc_id] = new_doc
+                return True
+        return False
+
+    # -- reads ------------------------------------------------------------------
+
+    def find(self, query: Mapping[str, Any] | None = None) -> list[dict[str, Any]]:
+        """All documents matching the Mongo-style query (insertion order)."""
+        return [dict(doc) for doc in self._docs.values() if matches(doc, query)]
+
+    def find_one(self, query: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
+        """First matching document or ``None``."""
+        for doc in self._docs.values():
+            if matches(doc, query):
+                return dict(doc)
+        return None
+
+    def count_documents(self, query: Mapping[str, Any] | None = None) -> int:
+        """Number of matching documents."""
+        return sum(1 for doc in self._docs.values() if matches(doc, query))
+
+    def distinct(self, path: str) -> list[Any]:
+        """Distinct values of a (dotted) field across all documents."""
+        from repro.storage.query import get_path, _MISSING  # noqa: PLC0415
+
+        seen: list[Any] = []
+        for doc in self._docs.values():
+            value = get_path(doc, path)
+            if value is not _MISSING and value not in seen:
+                seen.append(value)
+        return seen
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialisable snapshot of the collection."""
+        return {"name": self.name, "limit_bytes": self.limit_bytes, "docs": list(self._docs.values()), "next_id": self._next_id}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Collection":
+        """Inverse of :meth:`to_dict`."""
+        coll = cls(data["name"], int(data.get("limit_bytes", MAX_DOCUMENT_BYTES)))
+        for doc in data.get("docs", []):
+            coll._docs[doc["_id"]] = dict(doc)
+        coll._next_id = int(data.get("next_id", len(coll._docs)))
+        return coll
+
+
+class MongoLite:
+    """A tiny document database: named collections + optional persistence.
+
+    ``path=None`` keeps everything in memory; otherwise :meth:`dump` /
+    :meth:`load` round-trip the whole database through one JSON file.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        limit_bytes: int = MAX_DOCUMENT_BYTES,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.limit_bytes = limit_bytes
+        self._collections: dict[str, Collection] = {}
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    def collection(self, name: str) -> Collection:
+        """Get or create a collection."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name, self.limit_bytes)
+        return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def collection_names(self) -> list[str]:
+        """Names of all existing collections."""
+        return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        """Remove a collection entirely (no-op when absent)."""
+        self._collections.pop(name, None)
+
+    def dump(self) -> None:
+        """Persist the database to ``self.path`` (no-op when in-memory)."""
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {name: coll.to_dict() for name, coll in self._collections.items()}
+        tmp = self.path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)
+
+    def load(self) -> None:
+        """Load the database from ``self.path``."""
+        if self.path is None or not self.path.exists():
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        self._collections = {
+            name: Collection.from_dict(data) for name, data in payload.items()
+        }
+
+
+class MongoStore(ProfileStore):
+    """Profile store backed by a :class:`MongoLite` collection.
+
+    Parameters
+    ----------
+    db:
+        Existing database, or ``None`` for a fresh in-memory one.
+    limit_bytes:
+        Per-document size limit; defaults to MongoDB's 16 MB.
+    strict:
+        When True, oversized profiles raise
+        :class:`DocumentTooLargeError`; when False (default, matching the
+        paper's observed behaviour) trailing samples are dropped until the
+        document fits and the stored profile is flagged ``truncated``.
+    """
+
+    def __init__(
+        self,
+        db: MongoLite | None = None,
+        limit_bytes: int = MAX_DOCUMENT_BYTES,
+        strict: bool = False,
+    ) -> None:
+        self.db = db if db is not None else MongoLite(limit_bytes=limit_bytes)
+        self.collection = self.db.collection("profiles")
+        self.collection.limit_bytes = limit_bytes
+        self.strict = strict
+
+    def put(self, profile: Profile) -> str:
+        stored = self._fit(profile)
+        doc = stored.to_dict()
+        doc_id = self.collection.insert_one(doc)
+        self.db.dump()
+        return str(doc_id)
+
+    def _fit(self, profile: Profile) -> Profile:
+        """Truncate a profile's samples until its document fits the limit."""
+        limit = self.collection.limit_bytes
+        if profile.document_size() <= limit:
+            return profile
+        if self.strict:
+            raise DocumentTooLargeError(
+                f"profile document of {profile.document_size()} bytes exceeds "
+                f"the {limit}-byte document limit"
+            )
+        # Binary-search the largest sample count that still fits.
+        low, high = 0, profile.n_samples
+        while low < high:
+            mid = (low + high + 1) // 2
+            if profile.truncate(mid).document_size() <= limit:
+                low = mid
+            else:
+                high = mid - 1
+        truncated = profile.truncate(low)
+        if truncated.document_size() > limit:
+            raise DocumentTooLargeError(
+                "profile metadata alone exceeds the document limit"
+            )
+        return truncated
+
+    def samples_dropped(self, profile: Profile) -> int:
+        """How many samples :meth:`put` would drop for this profile."""
+        return profile.n_samples - self._fit_count(profile)
+
+    def _fit_count(self, profile: Profile) -> int:
+        try:
+            return self._fit(profile).n_samples
+        except DocumentTooLargeError:
+            return 0
+
+    def delete(self, pid: str) -> None:
+        """Remove one stored profile by id."""
+        removed = self.collection.delete_many({"_id": int(pid)})
+        if not removed:
+            raise StoreError(f"no stored profile {pid!r}")
+        self.db.dump()
+
+    def _iter_profiles(self):
+        for doc in self.collection.find():
+            doc_id = doc.pop("_id")
+            yield str(doc_id), Profile.from_dict(doc)

@@ -1,0 +1,143 @@
+"""Mongo-style document query matching.
+
+The paper stores profiles in MongoDB and looks them up by command/tag.
+Our embedded store reproduces the query surface actually needed (plus the
+common operators) so code written against the original ``pymongo`` usage
+ports over directly:
+
+* implicit equality: ``{"command": "gmx mdrun"}``
+* comparison: ``$eq $ne $gt $gte $lt $lte``
+* membership: ``$in $nin``
+* arrays: ``$all $size`` and Mongo's "scalar query matches array element"
+* strings: ``$regex``
+* existence: ``$exists``
+* logic: ``$and $or $nor $not``
+* dotted paths: ``{"machine.name": "thinkie"}``
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["matches", "get_path"]
+
+_MISSING = object()
+
+
+def get_path(document: Mapping[str, Any], path: str) -> Any:
+    """Resolve a dotted path inside nested mappings (``_MISSING`` if absent)."""
+    node: Any = document
+    for part in path.split("."):
+        if isinstance(node, Mapping) and part in node:
+            node = node[part]
+        elif isinstance(node, Sequence) and not isinstance(node, (str, bytes)):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError):
+                return _MISSING
+        else:
+            return _MISSING
+    return node
+
+
+def _is_operator_doc(value: Any) -> bool:
+    return isinstance(value, Mapping) and value and all(
+        isinstance(k, str) and k.startswith("$") for k in value
+    )
+
+
+def _compare(op: str, actual: Any, expected: Any) -> bool:
+    try:
+        if op == "$eq":
+            return _value_matches(actual, expected)
+        if op == "$ne":
+            return not _value_matches(actual, expected)
+        if op == "$gt":
+            return actual is not _MISSING and actual > expected
+        if op == "$gte":
+            return actual is not _MISSING and actual >= expected
+        if op == "$lt":
+            return actual is not _MISSING and actual < expected
+        if op == "$lte":
+            return actual is not _MISSING and actual <= expected
+    except TypeError:
+        return False
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def _value_matches(actual: Any, expected: Any) -> bool:
+    """Mongo equality: direct equality, or array-contains for sequences."""
+    if actual is _MISSING:
+        return expected is None
+    if actual == expected:
+        return True
+    if isinstance(actual, Sequence) and not isinstance(actual, (str, bytes)):
+        return any(item == expected for item in actual)
+    return False
+
+
+def _apply_operators(actual: Any, ops: Mapping[str, Any]) -> bool:
+    for op, arg in ops.items():
+        if op in ("$eq", "$ne", "$gt", "$gte", "$lt", "$lte"):
+            if not _compare(op, actual, arg):
+                return False
+        elif op == "$in":
+            if not any(_value_matches(actual, item) for item in arg):
+                return False
+        elif op == "$nin":
+            if any(_value_matches(actual, item) for item in arg):
+                return False
+        elif op == "$exists":
+            if bool(arg) != (actual is not _MISSING):
+                return False
+        elif op == "$regex":
+            if actual is _MISSING or not isinstance(actual, str):
+                return False
+            if re.search(arg, actual) is None:
+                return False
+        elif op == "$all":
+            if not isinstance(actual, Sequence) or isinstance(actual, (str, bytes)):
+                return False
+            if not all(item in actual for item in arg):
+                return False
+        elif op == "$size":
+            if not isinstance(actual, Sequence) or isinstance(actual, (str, bytes)):
+                return False
+            if len(actual) != arg:
+                return False
+        elif op == "$not":
+            inner = arg if _is_operator_doc(arg) else {"$eq": arg}
+            if _apply_operators(actual, inner):
+                return False
+        else:
+            raise ValueError(f"unsupported query operator {op!r}")
+    return True
+
+
+def matches(document: Mapping[str, Any], query: Mapping[str, Any] | None) -> bool:
+    """True when ``document`` satisfies ``query`` (``None``/{} match all)."""
+    if not query:
+        return True
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise ValueError(f"unsupported top-level operator {key!r}")
+        else:
+            actual = get_path(document, key)
+            if _is_operator_doc(condition):
+                if not _apply_operators(actual, condition):
+                    return False
+            else:
+                if not _value_matches(actual, condition):
+                    return False
+    return True

@@ -1,0 +1,30 @@
+"""Shared utilities: unit parsing/formatting, time-series math, tables.
+
+These helpers are deliberately dependency-light (NumPy only) and are used
+by every other subpackage.  Nothing in here knows about profiles, atoms or
+machines.
+"""
+
+from repro.util.units import (
+    format_bytes,
+    format_duration,
+    format_frequency,
+    format_number,
+    parse_bytes,
+    parse_duration,
+    parse_frequency,
+)
+from repro.util.timeseries import TimeSeries
+from repro.util.tables import Table
+
+__all__ = [
+    "Table",
+    "TimeSeries",
+    "format_bytes",
+    "format_duration",
+    "format_frequency",
+    "format_number",
+    "parse_bytes",
+    "parse_duration",
+    "parse_frequency",
+]

@@ -1,0 +1,151 @@
+"""A small time-series container used by watchers and the sim engine.
+
+A :class:`TimeSeries` is a monotone sequence of ``(t, value)`` points for a
+*cumulative* counter (bytes written so far, cycles used so far, ...).  The
+profiler stores one per watcher metric; the simulation engine produces one
+per virtual counter.  Operations follow the paper's post-processing needs:
+differencing into per-sample deltas, resampling to the profiler grid, and
+integration of rate-like series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Piecewise-linear cumulative counter samples.
+
+    Parameters
+    ----------
+    times:
+        Non-decreasing sample timestamps (seconds).
+    values:
+        Counter values at those timestamps.  For cumulative counters these
+        should be non-decreasing, but the container does not enforce it
+        (RSS, for instance, can shrink).
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(self, times: Iterable[float] = (), values: Iterable[float] = ()) -> None:
+        self.times = np.asarray(list(times), dtype=float)
+        self.values = np.asarray(list(values), dtype=float)
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have the same length")
+        if self.times.size and np.any(np.diff(self.times) < 0):
+            raise ValueError("timestamps must be non-decreasing")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Sequence[tuple[float, float]]) -> "TimeSeries":
+        """Build a series from ``(t, value)`` pairs."""
+        if not points:
+            return cls()
+        times, values = zip(*points)
+        return cls(times, values)
+
+    def append(self, t: float, value: float) -> None:
+        """Append one point; ``t`` must not precede the last timestamp."""
+        if self.times.size and t < self.times[-1]:
+            raise ValueError("appended timestamp precedes the series end")
+        self.times = np.append(self.times, float(t))
+        self.values = np.append(self.values, float(value))
+
+    # -- basic queries -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def __bool__(self) -> bool:
+        return self.times.size > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return np.array_equal(self.times, other.times) and np.array_equal(
+            self.values, other.values
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeSeries(n={len(self)}, span={self.span():.3f}s)"
+
+    def span(self) -> float:
+        """Wall-clock extent covered by the series (0 for <2 points)."""
+        if self.times.size < 2:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    def first(self) -> float:
+        """First value (raises ``IndexError`` when empty)."""
+        return float(self.values[0])
+
+    def last(self) -> float:
+        """Last value (raises ``IndexError`` when empty)."""
+        return float(self.values[-1])
+
+    def total(self) -> float:
+        """Net growth of the counter over the series (last - first)."""
+        if self.times.size == 0:
+            return 0.0
+        return float(self.values[-1] - self.values[0])
+
+    def max(self) -> float:
+        """Maximum observed value (0.0 when empty)."""
+        if self.values.size == 0:
+            return 0.0
+        return float(self.values.max())
+
+    # -- transformations ----------------------------------------------------
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated counter value at time ``t``.
+
+        Values are clamped to the first/last observation outside the
+        covered range, matching how a cumulative counter behaves before
+        process start (first reading) and after exit (final reading).
+        Results are additionally clipped into the observed value range:
+        true linear interpolation can never leave it, but degenerate
+        (near-duplicate) timestamps would otherwise overflow the slope.
+        """
+        if self.times.size == 0:
+            return 0.0
+        value = float(np.interp(t, self.times, self.values))
+        return float(min(max(value, self.values.min()), self.values.max()))
+
+    def values_at(self, ts: Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`value_at`."""
+        if self.times.size == 0:
+            return np.zeros(len(list(ts)))
+        out = np.interp(np.asarray(list(ts), dtype=float), self.times, self.values)
+        return np.clip(out, self.values.min(), self.values.max())
+
+    def deltas(self) -> np.ndarray:
+        """Per-interval increments between consecutive samples."""
+        if self.values.size < 2:
+            return np.zeros(0)
+        return np.diff(self.values)
+
+    def resample(self, grid: Iterable[float]) -> "TimeSeries":
+        """Interpolate the series onto a new timestamp grid."""
+        grid = np.asarray(list(grid), dtype=float)
+        return TimeSeries(grid, self.values_at(grid))
+
+    def shifted(self, dt: float) -> "TimeSeries":
+        """Return a copy with all timestamps shifted by ``dt``."""
+        return TimeSeries(self.times + dt, self.values.copy())
+
+    def integrate(self) -> float:
+        """Trapezoidal integral of the series, for rate-like values."""
+        if self.times.size < 2:
+            return 0.0
+        return float(np.trapezoid(self.values, self.times))
+
+    def to_points(self) -> list[tuple[float, float]]:
+        """Serialise to a plain list of ``(t, value)`` pairs."""
+        return [(float(t), float(v)) for t, v in zip(self.times, self.values)]

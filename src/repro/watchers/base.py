@@ -1,0 +1,113 @@
+"""Watcher plugin framework (§4.1 of the paper).
+
+A watcher observes one resource type of a running process.  The plugin
+protocol is the paper's, verbatim::
+
+    class WatcherClass(WatcherBase):
+        def __init__  (self, handle, context): ...
+        def pre_process (self, config): ...
+        def sample      (self, now): ...
+        def post_process(self): ...
+        def finalize    (self): ...
+
+``sample`` is invoked at regular intervals by the profiling driver (one
+thread per watcher on the host plane, lockstep on the simulation plane).
+In ``finalize`` a plugin may access the raw results of *other* watchers
+to derive further values without duplicating measurements — the paper
+accepts the resulting plugin dependencies to avoid double sampling.
+
+Each watcher accumulates raw time series; the profiler merges them onto
+its nominal grid afterwards (watcher timestamps may drift, §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.backend import ProcessHandle
+from repro.core.config import SynapseConfig
+from repro.util.timeseries import TimeSeries
+
+__all__ = ["WatcherBase", "WatcherResult", "WatcherContext"]
+
+
+@dataclass
+class WatcherContext:
+    """Information available to watchers besides the process handle."""
+
+    config: SynapseConfig
+    machine_info: dict[str, Any] = field(default_factory=dict)
+    backend: Any = None
+
+
+@dataclass
+class WatcherResult:
+    """Raw output of one watcher after finalisation."""
+
+    #: Cumulative counter series (per-interval deltas derive from these).
+    cumulative: dict[str, TimeSeries] = field(default_factory=dict)
+    #: Instantaneous level series (RSS, thread count, ...).
+    levels: dict[str, TimeSeries] = field(default_factory=dict)
+    #: Static values recorded once per run.
+    statics: dict[str, Any] = field(default_factory=dict)
+    #: Free-form extra information for the profile's ``info`` dict.
+    info: dict[str, Any] = field(default_factory=dict)
+    #: Actual sampling timestamps of this watcher.
+    timestamps: list[float] = field(default_factory=list)
+
+
+class WatcherBase:
+    """Base class of all watcher plugins."""
+
+    #: Registry name (``"cpu"``, ``"memory"``, ...).
+    name: str = "base"
+    #: Cumulative metrics this watcher tries to record.
+    cumulative_metrics: tuple[str, ...] = ()
+    #: Level metrics this watcher tries to record.
+    level_metrics: tuple[str, ...] = ()
+
+    def __init__(self, handle: ProcessHandle, context: WatcherContext) -> None:
+        self.handle = handle
+        self.context = context
+        self.result = WatcherResult()
+        self._cum: dict[str, list[tuple[float, float]]] = {
+            name: [] for name in self.cumulative_metrics
+        }
+        self._lev: dict[str, list[tuple[float, float]]] = {
+            name: [] for name in self.level_metrics
+        }
+
+    # -- protocol ----------------------------------------------------------
+
+    def pre_process(self, config: SynapseConfig) -> None:
+        """Set up the profiling environment for this watcher."""
+
+    def sample(self, now: float) -> None:
+        """Take one sample at (relative) time ``now``.
+
+        The default implementation snapshots the handle's counters and
+        records every metric this watcher declares.  Metrics absent from
+        the snapshot (e.g. stall counters on the host plane) are skipped.
+        """
+        counters = self.handle.counters()
+        self.result.timestamps.append(now)
+        for name, points in self._cum.items():
+            if name in counters:
+                points.append((now, counters[name]))
+        for name, points in self._lev.items():
+            if name in counters:
+                points.append((now, counters[name]))
+
+    def post_process(self) -> None:
+        """Tear down the profiling environment; build raw series."""
+        for name, points in self._cum.items():
+            if points:
+                self.result.cumulative[name] = TimeSeries.from_points(points)
+        for name, points in self._lev.items():
+            if points:
+                self.result.levels[name] = TimeSeries.from_points(points)
+
+    def finalize(self, all_results: Mapping[str, WatcherResult]) -> WatcherResult:
+        """Post-process with access to every watcher's raw results."""
+        return self.result

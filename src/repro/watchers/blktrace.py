@@ -1,0 +1,50 @@
+"""Experimental block-size watcher (the paper's ``blktrace`` prototype).
+
+§4.2/§6: "The Synapse profiler features an experimental watcher plugin
+that can, in principle, infer block sizes of disk I/O operations using
+blktrace."  This reproduction's prototype works on the simulation plane,
+where the engine records every I/O event: on finalisation it computes
+byte-weighted mean block sizes per operation and a block-size histogram.
+On the host plane (no blktrace available) it records nothing — exactly
+the degraded behaviour of an experimental plugin.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from repro.util.timeseries import TimeSeries
+from repro.watchers.base import WatcherBase, WatcherResult
+
+__all__ = ["BlktraceWatcher"]
+
+
+class BlktraceWatcher(WatcherBase):
+    """Infers I/O block sizes from the sim engine's I/O event stream."""
+
+    name = "blktrace"
+
+    def finalize(self, all_results: Mapping[str, WatcherResult]) -> WatcherResult:
+        record = getattr(self.handle, "record", None)
+        events = getattr(record, "io_events", None)
+        if not events:
+            self.result.info["blktrace"] = "no block-level data (host plane)"
+            return self.result
+        histogram: dict[str, Counter] = {"read": Counter(), "write": Counter()}
+        series: dict[str, list[tuple[float, float]]] = {"read": [], "write": []}
+        for event in events:
+            histogram[event.op][event.block_size] += event.nbytes
+            series[event.op].append((event.t, float(event.block_size)))
+        for op, metric in (("read", "io.block_size_read"), ("write", "io.block_size_write")):
+            if series[op]:
+                points = sorted(series[op])
+                self.result.levels[metric] = TimeSeries.from_points(points)
+                total = sum(histogram[op].values())
+                mean = sum(bs * b for bs, b in histogram[op].items()) / total
+                self.result.statics[f"{metric}_mean"] = mean
+        self.result.info["blktrace_histogram"] = {
+            op: {str(bs): count for bs, count in hist.items()}
+            for op, hist in histogram.items()
+        }
+        return self.result

@@ -1,0 +1,33 @@
+"""CPU activity watcher (the ``perf stat`` role of §4.1).
+
+Records instruction and cycle counters plus the stall counters that feed
+the derived efficiency metric.  Counter *sources* differ per plane:
+
+* simulation plane — exact virtual counters from the engine;
+* host plane — scheduler CPU time scaled by the nominal clock (a
+  model-based provider; stall counters are then unavailable and simply
+  not recorded, which downstream code treats as "metric absent", the
+  same way the original degrades when ``perf`` lacks permissions).
+"""
+
+from __future__ import annotations
+
+from repro.watchers.base import WatcherBase
+
+__all__ = ["CPUWatcher"]
+
+
+class CPUWatcher(WatcherBase):
+    """Samples instructions, cycles, stalls, FLOPs and thread count."""
+
+    name = "cpu"
+    cumulative_metrics = (
+        "cpu.instructions",
+        "cpu.cycles_used",
+        "cpu.cycles_stalled_front",
+        "cpu.cycles_stalled_back",
+        "cpu.flops",
+        "time.utime",
+        "time.stime",
+    )
+    level_metrics = ("cpu.threads",)

@@ -1,0 +1,59 @@
+"""Watcher plugin registry.
+
+Watchers are "extensible and exchangeable plugins" (§3.3); third-party
+code registers new ones with :func:`register`, and the profiler resolves
+the configured watcher names here.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigError
+from repro.watchers.base import WatcherBase
+from repro.watchers.blktrace import BlktraceWatcher
+from repro.watchers.cpu import CPUWatcher
+from repro.watchers.memory import MemoryWatcher
+from repro.watchers.network import NetworkWatcher
+from repro.watchers.rusage import RusageWatcher
+from repro.watchers.storage import StorageWatcher
+from repro.watchers.system import SystemWatcher
+
+__all__ = ["register", "get_watcher", "list_watchers"]
+
+_REGISTRY: dict[str, type[WatcherBase]] = {}
+
+
+def register(cls: type[WatcherBase]) -> type[WatcherBase]:
+    """Register a watcher class under its ``name`` (usable as decorator)."""
+    if not issubclass(cls, WatcherBase):
+        raise ConfigError(f"{cls!r} is not a WatcherBase subclass")
+    if not cls.name or cls.name == "base":
+        raise ConfigError("watcher classes must define a unique 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_watcher(name: str) -> type[WatcherBase]:
+    """Resolve a watcher class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown watcher {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_watchers() -> list[str]:
+    """Names of all registered watchers."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (
+    CPUWatcher,
+    MemoryWatcher,
+    StorageWatcher,
+    RusageWatcher,
+    SystemWatcher,
+    BlktraceWatcher,
+    NetworkWatcher,
+):
+    register(_cls)

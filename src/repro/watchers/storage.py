@@ -1,0 +1,14 @@
+"""Storage I/O watcher: bytes read/written (§4.1, ``/proc/<pid>/io``)."""
+
+from __future__ import annotations
+
+from repro.watchers.base import WatcherBase
+
+__all__ = ["StorageWatcher"]
+
+
+class StorageWatcher(WatcherBase):
+    """Samples cumulative disk read/write byte counters."""
+
+    name = "storage"
+    cumulative_metrics = ("io.bytes_read", "io.bytes_written")

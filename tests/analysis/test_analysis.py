@@ -1,0 +1,145 @@
+"""Analysis subpackage tests: dominance, phases, report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    classify_profile,
+    classify_sample,
+    detect_phases,
+    dominance_histogram,
+    profile_report,
+)
+from repro.core.samples import Profile, Sample
+from repro.sim.machines import get_machine
+
+
+def sample_with(index=0, dt=1.0, **values):
+    return Sample(index=index, t=float(index) * dt, dt=dt, values=values)
+
+
+def profile_of(samples):
+    return Profile(command="analysed", machine={"name": "thinkie"}, samples=samples)
+
+
+class TestDominance:
+    def test_compute_dominant(self):
+        machine = get_machine("thinkie")
+        # One full second of cycles on a 2.67 GHz machine.
+        sample = sample_with(**{"cpu.cycles_used": 2.67e9})
+        result = classify_sample(sample, machine)
+        assert result.dominant == "compute"
+        assert result.share("compute") == pytest.approx(1.0, abs=0.01)
+
+    def test_storage_dominant(self):
+        machine = get_machine("thinkie")
+        sample = sample_with(**{"io.bytes_written": 400 << 20})
+        result = classify_sample(sample, machine)
+        assert result.dominant == "storage"
+
+    def test_idle_dominant_for_sleep(self):
+        """The §4.5 sleep(3) case shows up as idle time."""
+        machine = get_machine("thinkie")
+        sample = sample_with(**{"cpu.cycles_used": 1e6})
+        result = classify_sample(sample, machine)
+        assert result.dominant == "idle"
+        assert result.share("idle") > 0.95
+
+    def test_dominance_flips_across_machines(self):
+        """Fig 3: the same sample dominates differently per machine."""
+        sample = sample_with(
+            **{"cpu.cycles_used": 2.4e9, "io.bytes_written": 120 << 20}
+        )
+        # Thinkie: slower CPU, fast SSD -> compute-leaning.
+        on_thinkie = classify_sample(sample, get_machine("thinkie"))
+        # Comet (nfs default): much slower disk, faster CPU -> storage.
+        on_comet = classify_sample(sample, get_machine("comet"))
+        assert on_thinkie.dominant == "compute"
+        assert on_comet.dominant == "storage"
+
+    def test_histogram(self):
+        machine = get_machine("thinkie")
+        profile = profile_of(
+            [
+                sample_with(index=0, **{"cpu.cycles_used": 2.67e9}),
+                sample_with(index=1, **{"io.bytes_written": 400 << 20}),
+                sample_with(index=2, **{"cpu.cycles_used": 2.67e9}),
+            ]
+        )
+        histogram = dominance_histogram(classify_profile(profile, machine))
+        assert histogram["compute"] == 2
+        assert histogram["storage"] == 1
+
+    def test_machine_resolved_from_profile(self):
+        profile = profile_of([sample_with(**{"cpu.cycles_used": 2.67e9})])
+        classified = classify_profile(profile)  # resolves "thinkie"
+        assert classified[0].dominant == "compute"
+
+    def test_network_share(self):
+        machine = get_machine("thinkie")
+        sample = sample_with(**{"net.bytes_written": int(0.9 * machine.net_bandwidth)})
+        result = classify_sample(sample, machine)
+        assert result.dominant == "network"
+
+
+class TestPhases:
+    def test_single_regime_single_phase(self):
+        profile = profile_of(
+            [sample_with(index=i, **{"cpu.cycles_used": 1e9}) for i in range(10)]
+        )
+        phases = detect_phases(profile)
+        assert len(phases) == 1
+        assert phases[0].n_samples == 10
+        assert phases[0].dominant_metric == "cpu.cycles_used"
+
+    def test_regime_change_detected(self):
+        compute = [sample_with(index=i, **{"cpu.cycles_used": 1e9}) for i in range(5)]
+        io = [
+            sample_with(index=i + 5, **{"io.bytes_written": 1e8}) for i in range(5)
+        ]
+        phases = detect_phases(profile_of(compute + io))
+        assert len(phases) == 2
+        assert phases[0].dominant_metric == "cpu.cycles_used"
+        assert phases[1].dominant_metric == "io.bytes_written"
+        assert phases[0].end_index == 4
+        assert phases[1].start_index == 5
+
+    def test_phase_timing(self):
+        profile = profile_of(
+            [sample_with(index=i, dt=0.5, **{"cpu.cycles_used": 1e9}) for i in range(4)]
+        )
+        phase = detect_phases(profile)[0]
+        assert phase.start_time == 0.0
+        assert phase.duration == pytest.approx(2.0)
+
+    def test_empty_profile(self):
+        assert detect_phases(Profile(command="empty")) == []
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            detect_phases(profile_of([sample_with()]), threshold=0.0)
+
+    def test_gromacs_startup_main_teardown(self, gromacs_profile_large):
+        """The MD model's regimes are recoverable from its profile."""
+        phases = detect_phases(gromacs_profile_large)
+        assert len(phases) >= 2
+        # The long middle regime dominates the runtime and is compute-led.
+        longest = max(phases, key=lambda p: p.duration)
+        assert longest.dominant_metric == "cpu.cycles_used"
+        assert longest.duration > 0.8 * gromacs_profile_large.tx
+
+
+class TestReport:
+    def test_report_sections(self, gromacs_profile):
+        text = profile_report(gromacs_profile)
+        assert "profile" in text
+        assert "totals" in text
+        assert "sample dominance" in text
+        assert "detected phases" in text
+        assert gromacs_profile.command in text
+
+    def test_report_handles_minimal_profile(self):
+        profile = profile_of([sample_with(**{"cpu.cycles_used": 1.0})])
+        text = profile_report(profile)
+        assert "analysed" in text

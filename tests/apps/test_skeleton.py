@@ -1,0 +1,149 @@
+"""Application-Skeleton DAG tests (§7 integration)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.apps import SkeletonApp, SyntheticApp, chain, fan_out_fan_in
+from repro.core.errors import WorkloadError
+from repro.sim.engine import Engine
+from repro.sim.machines import get_machine
+from repro.sim.noise import NoiseModel
+
+
+def compute_app(instructions: float = 2.67e9) -> SyntheticApp:
+    return SyntheticApp(instructions=instructions, workload_class="app.md", chunks=1)
+
+
+def run(app, machine="thinkie"):
+    spec = get_machine(machine)
+    return Engine(spec, NoiseModel.silent()).run(app.build_workload(spec))
+
+
+def diamond() -> SkeletonApp:
+    graph = nx.DiGraph()
+    for node in ("a", "b", "c", "d"):
+        graph.add_node(node, app=compute_app())
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    graph.add_edge("b", "d")
+    graph.add_edge("c", "d")
+    return SkeletonApp(graph=graph)
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            SkeletonApp(graph=nx.DiGraph())
+
+    def test_cycle_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", app=compute_app())
+        graph.add_node("b", app=compute_app())
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        with pytest.raises(WorkloadError):
+            SkeletonApp(graph=graph)
+
+    def test_missing_app_attribute_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_node("a")
+        with pytest.raises(WorkloadError):
+            SkeletonApp(graph=graph)
+
+    def test_non_digraph_rejected(self):
+        with pytest.raises(WorkloadError):
+            SkeletonApp(graph="not a graph")
+
+
+class TestStructure:
+    def test_diamond_generations(self):
+        skeleton = diamond()
+        assert skeleton.generations() == [["a"], ["b", "c"], ["d"]]
+        assert skeleton.critical_path_length() == 3
+        assert skeleton.n_components == 4
+
+    def test_command_and_tags(self):
+        skeleton = diamond()
+        assert skeleton.command() == "skeleton n4 d3"
+        assert skeleton.tags() == {"components": 4, "depth": 3}
+
+    def test_chain_builder(self):
+        skeleton = chain({"x": compute_app(), "y": compute_app(), "z": compute_app()})
+        assert skeleton.generations() == [["x"], ["y"], ["z"]]
+
+    def test_chain_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            chain({})
+
+    def test_fan_builder(self):
+        skeleton = fan_out_fan_in(
+            prepare=compute_app(),
+            workers={f"w{i}": compute_app() for i in range(3)},
+            collect=compute_app(),
+        )
+        generations = skeleton.generations()
+        assert generations[0] == ["prepare"]
+        assert generations[1] == ["w0", "w1", "w2"]
+        assert generations[2] == ["collect"]
+
+    def test_fan_requires_workers(self):
+        with pytest.raises(WorkloadError):
+            fan_out_fan_in(compute_app(), {}, compute_app())
+
+
+class TestExecution:
+    def test_generations_are_barriers(self):
+        record = run(diamond())
+        assert len(record.phase_bounds) == 3
+        for (_, prev_end), (start, _) in zip(record.phase_bounds, record.phase_bounds[1:]):
+            assert start == pytest.approx(prev_end)
+
+    def test_parallel_generation_overlaps(self):
+        """b and c of the diamond run concurrently: Tx ~ 3 component times."""
+        record = run(diamond())
+        single = run(compute_app()).duration
+        assert record.duration == pytest.approx(3 * single, rel=0.05)
+
+    def test_total_work_conserved(self):
+        record = run(diamond())
+        single = run(compute_app()).totals()["cpu.instructions"]
+        assert record.totals()["cpu.instructions"] == pytest.approx(4 * single, rel=1e-9)
+
+    def test_heterogeneous_components(self):
+        skeleton = chain(
+            {
+                "stage-in": SyntheticApp(bytes_read=32 << 20, chunks=1),
+                "compute": compute_app(),
+                "stage-out": SyntheticApp(bytes_written=32 << 20, chunks=1),
+            }
+        )
+        record = run(skeleton)
+        totals = record.totals()
+        assert totals["io.bytes_read"] == pytest.approx(32 << 20)
+        assert totals["io.bytes_written"] == pytest.approx(32 << 20)
+
+    def test_skeleton_profile_and_emulate(self):
+        """A composed DAG profiles and replays like any application."""
+        from repro.core.api import emulate, profile
+        from repro.core.config import SynapseConfig
+        from repro.sim.backend import SimBackend
+
+        skeleton = fan_out_fan_in(
+            prepare=SyntheticApp(bytes_read=16 << 20, chunks=1),
+            workers={f"w{i}": compute_app(5e9) for i in range(4)},
+            collect=SyntheticApp(bytes_written=16 << 20, chunks=1),
+        )
+        prof = profile(
+            skeleton,
+            backend=SimBackend("titan", noisy=False),
+            config=SynapseConfig(sample_rate=2.0),
+        )
+        assert prof.command == "skeleton n6 d3"
+        result = emulate(prof, backend=SimBackend("titan", noisy=False))
+        consumed = result.handle.record.totals()["cpu.cycles_used"]
+        bias = SimBackend("titan").machine.cpu.spec("kernel.asm").cycle_bias
+        assert consumed == pytest.approx(
+            prof.totals()["cpu.cycles_used"] * bias, rel=0.02
+        )

@@ -1,0 +1,45 @@
+"""Shared fixtures for the Synapse reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import GromacsModel
+from repro.core.config import SynapseConfig
+from repro.core.profiler import Profiler
+from repro.sim.backend import SimBackend
+
+
+def make_backend(machine: str = "thinkie", noisy: bool = False, seed: int = 0) -> SimBackend:
+    """Fresh simulation backend (exact by default for deterministic tests)."""
+    return SimBackend(machine, noisy=noisy, seed=seed)
+
+
+@pytest.fixture
+def thinkie():
+    """Exact (noise-free) backend on the profiling machine."""
+    return make_backend("thinkie")
+
+
+@pytest.fixture
+def fast_config():
+    """High-rate profiling configuration."""
+    return SynapseConfig(sample_rate=10.0)
+
+
+@pytest.fixture(scope="session")
+def gromacs_profile():
+    """A session-cached profile of a small Gromacs run on Thinkie."""
+    backend = make_backend("thinkie")
+    profiler = Profiler(backend, config=SynapseConfig(sample_rate=2.0))
+    app = GromacsModel(iterations=50_000)
+    return profiler.run(app, tags=app.tags(), command=app.command())
+
+
+@pytest.fixture(scope="session")
+def gromacs_profile_large():
+    """A session-cached profile of a longer Gromacs run on Thinkie."""
+    backend = make_backend("thinkie")
+    profiler = Profiler(backend, config=SynapseConfig(sample_rate=1.0))
+    app = GromacsModel(iterations=1_000_000)
+    return profiler.run(app, tags=app.tags(), command=app.command())

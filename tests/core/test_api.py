@@ -1,0 +1,92 @@
+"""Public API tests: profile() / emulate() / stats()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import GromacsModel, SleeperApp
+from repro.core.api import default_backend_for, emulate, profile, stats
+from repro.core.config import SynapseConfig
+from repro.core.errors import WorkloadError
+from repro.host.backend import HostBackend
+from repro.storage import MemoryStore
+
+from tests.conftest import make_backend
+
+
+class TestDefaultBackend:
+    def test_string_target_gets_host(self):
+        assert isinstance(default_backend_for("sleep 1"), HostBackend)
+
+    def test_callable_target_gets_host(self):
+        assert isinstance(default_backend_for(lambda: None), HostBackend)
+
+    def test_app_model_needs_explicit_backend(self):
+        with pytest.raises(WorkloadError):
+            default_backend_for(GromacsModel(iterations=10))
+
+
+class TestProfileAPI:
+    def test_app_model_defaults(self):
+        prof = profile(
+            GromacsModel(iterations=20_000), backend=make_backend()
+        )
+        assert prof.command == "gmx mdrun -nsteps 20000"
+        assert prof.tags == ("tag_step=20000",)
+
+    def test_explicit_command_and_tags(self):
+        prof = profile(
+            GromacsModel(iterations=20_000),
+            tags={"run": 7},
+            command="custom",
+            backend=make_backend(),
+        )
+        assert prof.command == "custom"
+        assert prof.tags == ("run=7",)
+
+    def test_repeats_return_list(self):
+        profiles = profile(
+            SleeperApp(sleep_seconds=1.0), backend=make_backend(), repeats=2
+        )
+        assert isinstance(profiles, list)
+        assert len(profiles) == 2
+
+    def test_store_captures(self):
+        store = MemoryStore()
+        profile(SleeperApp(sleep_seconds=1.0), backend=make_backend(), store=store)
+        assert store.count() == 1
+
+
+class TestEmulateAPI:
+    def test_profile_roundtrip(self):
+        store = MemoryStore()
+        app = SleeperApp(sleep_seconds=2.0)
+        profile(app, backend=make_backend(), store=store)
+        result = emulate("sleep 2", backend=make_backend(), store=store)
+        assert result.backend == "sim"
+        assert result.tx > 0
+
+    def test_config_threading(self):
+        store = MemoryStore()
+        profile(GromacsModel(iterations=20_000), backend=make_backend(), store=store)
+        result = emulate(
+            "gmx mdrun -nsteps 20000",
+            backend=make_backend(),
+            store=store,
+            config=SynapseConfig(compute_kernel="c"),
+        )
+        assert result.info["kernel"] == "c"
+
+
+class TestStatsAPI:
+    def test_stats_over_store(self):
+        store = MemoryStore()
+        profile(
+            SleeperApp(sleep_seconds=1.0),
+            backend=make_backend(noisy=True),
+            store=store,
+            repeats=3,
+        )
+        result = stats("sleep 1", store=store)
+        assert result.n_profiles == 3
+        assert result.metric("tx").mean == pytest.approx(1.0, rel=0.2)

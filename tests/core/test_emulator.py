@@ -1,0 +1,153 @@
+"""Emulator tests: sim-plane replay fidelity and host-plane mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atoms.base import AtomWork
+from repro.core.config import SynapseConfig
+from repro.core.emulator import Emulator
+from repro.core.errors import EmulationError
+from repro.core.plan import EmulationPlan, PlanSample
+from repro.core.profiler import Profiler
+from repro.core.samples import Profile, Sample
+from repro.storage import MemoryStore
+
+from tests.conftest import make_backend
+
+
+def small_plan(cycles=1e6, n=3, **work_kw):
+    samples = [
+        PlanSample(index=i, work=AtomWork(cycles=cycles, **work_kw)) for i in range(n)
+    ]
+    return EmulationPlan(samples=samples, command="planned")
+
+
+class TestResolution:
+    def test_profile_source(self, gromacs_profile):
+        emulator = Emulator(backend=make_backend())
+        result = emulator.run(gromacs_profile)
+        assert result.backend == "sim"
+        assert result.tx > 0
+
+    def test_plan_source(self):
+        emulator = Emulator(backend=make_backend())
+        result = emulator.run(small_plan())
+        assert result.tx > 0
+
+    def test_command_source_needs_store(self):
+        emulator = Emulator(backend=make_backend())
+        with pytest.raises(EmulationError):
+            emulator.run("some command")
+
+    def test_command_source_with_store(self, gromacs_profile):
+        store = MemoryStore()
+        store.put(gromacs_profile)
+        emulator = Emulator(backend=make_backend(), store=store)
+        result = emulator.run(gromacs_profile.command, tags=gromacs_profile.tags)
+        assert result.tx > 0
+
+    def test_bad_source_type(self):
+        with pytest.raises(EmulationError):
+            Emulator(backend=make_backend()).run(12345)
+
+
+class TestSimReplayFidelity:
+    def test_cycles_conserved_with_bias(self, gromacs_profile):
+        """Emulation consumes profiled cycles x kernel bias (+ startup)."""
+        backend = make_backend("thinkie")
+        emulator = Emulator(backend=backend, config=SynapseConfig(compute_kernel="asm"))
+        result = emulator.run(gromacs_profile)
+        consumed = result.handle.record.totals()["cpu.cycles_used"]
+        target = gromacs_profile.totals()["cpu.cycles_used"]
+        bias = backend.machine.cpu.spec("kernel.asm").cycle_bias
+        # Startup compute adds a small constant on top.
+        assert consumed == pytest.approx(target * bias, rel=0.02)
+
+    def test_io_conserved(self, gromacs_profile):
+        result = Emulator(backend=make_backend()).run(gromacs_profile)
+        totals = result.handle.record.totals()
+        expected = gromacs_profile.totals()
+        assert totals["io.bytes_written"] == pytest.approx(
+            expected["io.bytes_written"], rel=0.01
+        )
+        assert totals["io.bytes_read"] == pytest.approx(
+            expected["io.bytes_read"], rel=0.01
+        )
+
+    def test_startup_delay_about_one_second(self, gromacs_profile):
+        """§5 E.2: emulator startup delay ~1 s."""
+        result = Emulator(backend=make_backend()).run(gromacs_profile)
+        assert 0.8 < result.startup_delay < 1.2
+
+    def test_emulation_can_be_reprofiled(self, gromacs_profile):
+        """The paper's E.2 sanity check: profile the emulation itself."""
+        backend = make_backend("thinkie")
+        emulator = Emulator(backend=backend, config=SynapseConfig(compute_kernel="asm"))
+        result = emulator.run(gromacs_profile)
+        # Profile a fresh emulation run through the ordinary profiler.
+        backend2 = make_backend("thinkie")
+        plan = EmulationPlan.from_profile(gromacs_profile)
+        workload = plan.build_sim_workload(SynapseConfig(compute_kernel="asm"))
+        reprofiled = Profiler(backend2, config=SynapseConfig(sample_rate=2.0)).run(
+            workload
+        )
+        assert reprofiled.totals()["cpu.cycles_used"] == pytest.approx(
+            result.handle.record.totals()["cpu.cycles_used"], rel=1e-6
+        )
+
+    def test_kernel_choice_changes_consumption(self, gromacs_profile):
+        consumed = {}
+        for kernel in ("asm", "c"):
+            backend = make_backend("comet")
+            result = Emulator(
+                backend=backend, config=SynapseConfig(compute_kernel=kernel)
+            ).run(gromacs_profile)
+            consumed[kernel] = result.handle.record.totals()["cpu.cycles_used"]
+        assert consumed["asm"] > consumed["c"]  # ASM bias is larger (E.3)
+
+    def test_parallel_emulation_faster(self, gromacs_profile_large):
+        serial = Emulator(backend=make_backend("titan")).run(gromacs_profile_large)
+        parallel = Emulator(
+            backend=make_backend("titan"),
+            config=SynapseConfig(openmp_threads=8),
+        ).run(gromacs_profile_large)
+        assert parallel.tx < serial.tx * 0.5
+
+    def test_order_preserved_in_phases(self, gromacs_profile):
+        result = Emulator(backend=make_backend()).run(gromacs_profile)
+        bounds = result.handle.record.phase_bounds
+        starts = [b[0] for b in bounds]
+        assert starts == sorted(starts)
+        # Phases are barriers: each starts exactly where the previous ended.
+        for (_, prev_end), (start, _) in zip(bounds, bounds[1:]):
+            assert start == pytest.approx(prev_end)
+
+
+class TestHostReplay:
+    def test_tiny_plan_executes(self):
+        plan = small_plan(cycles=5e7, n=2, write_bytes=4096, alloc_bytes=1 << 20)
+        result = Emulator(config=SynapseConfig(compute_kernel="asm")).run(plan)
+        assert result.backend == "host"
+        assert result.tx > 0
+        assert len(result.sample_durations) == 2
+
+    def test_sample_durations_sum_below_tx(self):
+        plan = small_plan(cycles=5e7, n=3)
+        result = Emulator().run(plan)
+        assert sum(result.sample_durations) <= result.tx
+
+    def test_sleep_kernel_spends_time_not_cycles(self):
+        machine_hz = 1e9
+        plan = small_plan(cycles=0.05 * machine_hz, n=1)
+        import time
+
+        t0 = time.perf_counter()
+        result = Emulator(config=SynapseConfig(compute_kernel="sleep")).run(plan)
+        elapsed = time.perf_counter() - t0
+        assert result.tx <= elapsed + 0.01
+
+    def test_empty_work_skipped(self):
+        plan = EmulationPlan(samples=[PlanSample(0, AtomWork())], command="empty")
+        result = Emulator().run(plan)
+        assert result.sample_durations[0] < 0.05

@@ -1,0 +1,104 @@
+"""Per-process profile combination tests (§4.5 multiprocessing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SynapseConfig
+from repro.core.errors import SynapseError
+from repro.core.multiproc import combine_process_profiles
+from repro.core.profiler import Profiler
+from repro.core.samples import Profile, Sample
+
+from tests.conftest import make_backend
+
+
+def rank_profile(cycles_per_sample, rss=100.0, rate=1.0, runtime=None):
+    samples = [
+        Sample(
+            index=i,
+            t=float(i),
+            dt=1.0,
+            values={
+                "cpu.cycles_used": c,
+                "mem.rss": rss,
+                "time.runtime": 1.0,
+            },
+        )
+        for i, c in enumerate(cycles_per_sample)
+    ]
+    statics = {}
+    if runtime is not None:
+        statics["time.runtime_rusage"] = runtime
+    return Profile(command="mpi app", sample_rate=rate, samples=samples, statics=statics)
+
+
+class TestCombine:
+    def test_cumulative_metrics_add(self):
+        combined = combine_process_profiles(
+            [rank_profile([10.0, 10.0]), rank_profile([5.0, 5.0])]
+        )
+        assert combined.totals()["cpu.cycles_used"] == pytest.approx(30.0)
+        assert combined.samples[0].values["cpu.cycles_used"] == pytest.approx(15.0)
+
+    def test_levels_add(self):
+        combined = combine_process_profiles(
+            [rank_profile([1.0], rss=100.0), rank_profile([1.0], rss=50.0)]
+        )
+        assert combined.samples[0].values["mem.rss"] == pytest.approx(150.0)
+
+    def test_runtime_is_max_not_sum(self):
+        combined = combine_process_profiles(
+            [rank_profile([1.0, 1.0], runtime=2.0), rank_profile([1.0], runtime=1.0)]
+        )
+        assert combined.tx == pytest.approx(2.0)
+        assert combined.samples[0].values["time.runtime"] == pytest.approx(1.0)
+
+    def test_shorter_ranks_stop_contributing(self):
+        combined = combine_process_profiles(
+            [rank_profile([10.0, 10.0, 10.0]), rank_profile([5.0])]
+        )
+        assert combined.n_samples == 3
+        assert combined.samples[0].values["cpu.cycles_used"] == pytest.approx(15.0)
+        assert combined.samples[2].values["cpu.cycles_used"] == pytest.approx(10.0)
+
+    def test_rank_marker_and_info(self):
+        combined = combine_process_profiles([rank_profile([1.0])] * 4)
+        assert "ranks=4" in combined.tags
+        assert combined.info["combined_from"] == 4
+        assert "communication" in combined.info["note"]
+
+    def test_mixed_rates_rejected(self):
+        with pytest.raises(SynapseError):
+            combine_process_profiles(
+                [rank_profile([1.0], rate=1.0), rank_profile([1.0], rate=2.0)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynapseError):
+            combine_process_profiles([])
+
+
+class TestEndToEnd:
+    def test_combined_ranks_replay_with_mpi(self):
+        """Profile N simulated ranks, combine, replay MPI-wide."""
+        from repro.apps import SyntheticApp
+        from repro.core.emulator import Emulator
+
+        rank_app = SyntheticApp(instructions=4e9, workload_class="app.md", chunks=4)
+        rank_profiles = [
+            Profiler(make_backend(), config=SynapseConfig(sample_rate=2.0)).run(
+                rank_app, command="mpi science", tags={"rank": rank}
+            )
+            for rank in range(4)
+        ]
+        combined = combine_process_profiles(rank_profiles)
+        assert combined.totals()["cpu.cycles_used"] == pytest.approx(
+            4 * rank_profiles[0].totals()["cpu.cycles_used"], rel=1e-6
+        )
+        serial = Emulator(backend=make_backend()).run(combined)
+        parallel = Emulator(
+            backend=make_backend(), config=SynapseConfig(mpi_processes=4)
+        ).run(combined)
+        # 4-rank replay recovers the concurrency the ranks really had.
+        assert parallel.tx < 0.45 * serial.tx

@@ -1,0 +1,179 @@
+"""Emulation plan tests: conservation, order, malleability."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SynapseConfig
+from repro.core.errors import EmulationError
+from repro.core.plan import EmulationPlan
+from repro.core.samples import Profile, Sample
+from repro.sim.demands import ComputeDemand, IODemand, MemoryDemand
+
+
+def profile_from_values(values_per_sample) -> Profile:
+    samples = [
+        Sample(index=i, t=float(i), dt=1.0, values=dict(vals))
+        for i, vals in enumerate(values_per_sample)
+    ]
+    return Profile(command="planned app", tags=("t=1",), samples=samples)
+
+
+sample_values = st.fixed_dictionaries(
+    {},
+    optional={
+        "cpu.cycles_used": st.floats(0, 1e10, allow_nan=False),
+        "cpu.flops": st.floats(0, 1e9, allow_nan=False),
+        "io.bytes_read": st.integers(0, 1 << 30).map(float),
+        "io.bytes_written": st.integers(0, 1 << 30).map(float),
+        "mem.allocated": st.integers(0, 1 << 28).map(float),
+        "mem.freed": st.integers(0, 1 << 28).map(float),
+    },
+)
+
+
+class TestConstruction:
+    def test_empty_profile_rejected(self):
+        with pytest.raises(EmulationError):
+            EmulationPlan.from_profile(Profile(command="x"))
+
+    def test_order_preserved(self):
+        profile = profile_from_values([{"cpu.cycles_used": float(i)} for i in range(5)])
+        plan = EmulationPlan.from_profile(profile)
+        assert [s.index for s in plan.samples] == [0, 1, 2, 3, 4]
+        assert [s.work.cycles for s in plan.samples] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_negative_deltas_clamped(self):
+        profile = profile_from_values([{"cpu.cycles_used": -5.0, "io.bytes_read": -1.0}])
+        plan = EmulationPlan.from_profile(profile)
+        assert plan.samples[0].work.cycles == 0.0
+        assert plan.samples[0].work.read_bytes == 0
+
+    def test_metadata_carried(self):
+        profile = profile_from_values([{"cpu.cycles_used": 1.0}])
+        plan = EmulationPlan.from_profile(profile)
+        assert plan.command == "planned app"
+        assert plan.tags == ("t=1",)
+
+    @given(st.lists(sample_values, min_size=1, max_size=12))
+    @settings(max_examples=50)
+    def test_conservation_property(self, values):
+        """Plan totals equal profile totals per resource (core invariant)."""
+        profile = profile_from_values(values)
+        plan = EmulationPlan.from_profile(profile)
+        totals = plan.totals()
+        expected = profile.totals()
+        assert totals.cycles == pytest.approx(expected.get("cpu.cycles_used", 0.0))
+        assert totals.read_bytes == int(expected.get("io.bytes_read", 0.0))
+        assert totals.write_bytes == int(expected.get("io.bytes_written", 0.0))
+        assert totals.alloc_bytes == int(expected.get("mem.allocated", 0.0))
+
+
+class TestMalleability:
+    def test_scaled_cpu_only(self):
+        profile = profile_from_values([{"cpu.cycles_used": 10.0, "io.bytes_read": 100.0}])
+        plan = EmulationPlan.from_profile(profile).scaled(cpu=2.0)
+        assert plan.totals().cycles == pytest.approx(20.0)
+        assert plan.totals().read_bytes == 100
+
+    def test_scaled_negative_rejected(self):
+        profile = profile_from_values([{"cpu.cycles_used": 1.0}])
+        plan = EmulationPlan.from_profile(profile)
+        with pytest.raises(EmulationError):
+            plan.scaled(cpu=-1.0)
+
+    def test_regrid_conserves_totals(self):
+        profile = profile_from_values(
+            [{"cpu.cycles_used": float(i), "io.bytes_written": 10.0} for i in range(7)]
+        )
+        plan = EmulationPlan.from_profile(profile)
+        merged = plan.regrid(3)
+        assert merged.n_samples == 3
+        assert merged.totals().cycles == pytest.approx(plan.totals().cycles)
+        assert merged.totals().write_bytes == plan.totals().write_bytes
+
+    def test_regrid_factor_one_identity(self):
+        profile = profile_from_values([{"cpu.cycles_used": 1.0}] * 3)
+        plan = EmulationPlan.from_profile(profile)
+        assert plan.regrid(1).n_samples == plan.n_samples
+
+    def test_regrid_invalid(self):
+        profile = profile_from_values([{"cpu.cycles_used": 1.0}])
+        with pytest.raises(EmulationError):
+            EmulationPlan.from_profile(profile).regrid(0)
+
+
+class TestSimWorkloadBuild:
+    def test_phase_per_nonempty_sample(self):
+        profile = profile_from_values(
+            [
+                {"cpu.cycles_used": 10.0},
+                {},  # empty sample -> no phase
+                {"io.bytes_written": 100.0},
+            ]
+        )
+        plan = EmulationPlan.from_profile(profile)
+        workload = plan.build_sim_workload(SynapseConfig())
+        # startup phase + two non-empty sample phases
+        assert len(workload.phases) == 3
+        assert workload.phases[0].name == "emulator-startup"
+
+    def test_atoms_become_streams(self):
+        profile = profile_from_values(
+            [
+                {
+                    "cpu.cycles_used": 10.0,
+                    "io.bytes_read": 5.0,
+                    "mem.allocated": 7.0,
+                }
+            ]
+        )
+        plan = EmulationPlan.from_profile(profile)
+        workload = plan.build_sim_workload(SynapseConfig())
+        sample_phase = workload.phases[1]
+        names = {s.name for s in sample_phase.streams}
+        assert names == {"compute", "storage", "memory"}
+
+    def test_kernel_class_applied(self):
+        profile = profile_from_values([{"cpu.cycles_used": 10.0}])
+        plan = EmulationPlan.from_profile(profile)
+        workload = plan.build_sim_workload(SynapseConfig(compute_kernel="c"))
+        demand = workload.phases[1].streams[0].demands[0]
+        assert isinstance(demand, ComputeDemand)
+        assert demand.workload_class == "kernel.c"
+        assert demand.calibrated_cycles == pytest.approx(10.0)
+
+    def test_block_sizes_applied(self):
+        profile = profile_from_values([{"io.bytes_read": 10.0, "io.bytes_written": 10.0}])
+        plan = EmulationPlan.from_profile(profile)
+        config = SynapseConfig(io_block_size_read="4KB", io_block_size_write="1MB")
+        workload = plan.build_sim_workload(config)
+        demands = workload.phases[1].streams[0].demands
+        assert all(isinstance(d, IODemand) for d in demands)
+        assert demands[0].block_size == 4096
+        assert demands[1].block_size == 1 << 20
+
+    def test_mpi_config_sets_paradigm(self):
+        profile = profile_from_values([{"cpu.cycles_used": 10.0}])
+        plan = EmulationPlan.from_profile(profile)
+        workload = plan.build_sim_workload(SynapseConfig(mpi_processes=4))
+        demand = workload.phases[1].streams[0].demands[0]
+        assert demand.paradigm == "mpi"
+        assert demand.threads == 4
+
+    def test_cpu_load_adds_stream(self):
+        profile = profile_from_values([{"cpu.cycles_used": 10.0}])
+        plan = EmulationPlan.from_profile(profile)
+        workload = plan.build_sim_workload(SynapseConfig(cpu_load=0.5))
+        names = [s.name for s in workload.phases[1].streams]
+        assert "cpu-load" in names
+
+    def test_memory_demand_block_size(self):
+        profile = profile_from_values([{"mem.allocated": 100.0}])
+        plan = EmulationPlan.from_profile(profile)
+        workload = plan.build_sim_workload(SynapseConfig(mem_block_size="4KB"))
+        demand = workload.phases[1].streams[0].demands[0]
+        assert isinstance(demand, MemoryDemand)
+        assert demand.block_size == 4096

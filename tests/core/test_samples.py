@@ -1,0 +1,162 @@
+"""Profile/Sample data-model tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.samples import Profile, Sample
+from repro.util.timeseries import TimeSeries
+
+
+def make_profile(values_per_sample, **kwargs):
+    samples = [
+        Sample(index=i, t=float(i), dt=1.0, values=dict(vals))
+        for i, vals in enumerate(values_per_sample)
+    ]
+    return Profile(command="test app", samples=samples, **kwargs)
+
+
+class TestTotals:
+    def test_cumulative_metrics_sum(self):
+        profile = make_profile(
+            [{"cpu.cycles_used": 10.0}, {"cpu.cycles_used": 5.0}]
+        )
+        assert profile.totals()["cpu.cycles_used"] == pytest.approx(15.0)
+
+    def test_level_metrics_take_max(self):
+        profile = make_profile([{"mem.rss": 10.0}, {"mem.rss": 30.0}, {"mem.rss": 20.0}])
+        assert profile.totals()["mem.rss"] == pytest.approx(30.0)
+
+    def test_statics_pass_through(self):
+        profile = make_profile([{}], statics={"sys.cores": 4, "io.filesystem": "lustre"})
+        totals = profile.totals()
+        assert totals["sys.cores"] == 4.0
+        assert "io.filesystem" not in totals  # non-numeric statics excluded
+
+    def test_unknown_metrics_default_cumulative(self):
+        profile = make_profile([{"custom.counter": 1.0}, {"custom.counter": 2.0}])
+        assert profile.totals()["custom.counter"] == pytest.approx(3.0)
+
+    def test_tx_prefers_runtime(self):
+        profile = make_profile([{"time.runtime": 1.0}, {"time.runtime": 0.5}])
+        assert profile.tx == pytest.approx(1.5)
+
+    def test_tx_falls_back_to_dt_sum(self):
+        profile = make_profile([{}, {}, {}])
+        assert profile.tx == pytest.approx(3.0)
+
+    def test_derived_uses_totals(self):
+        profile = make_profile(
+            [{"cpu.cycles_used": 8.0, "cpu.cycles_stalled_front": 2.0}]
+        )
+        assert profile.derived()["cpu.efficiency"] == pytest.approx(0.8)
+
+
+class TestSeries:
+    def test_cumulative_series_accumulates(self):
+        profile = make_profile([{"io.bytes_written": 5.0}, {"io.bytes_written": 3.0}])
+        series = profile.series("io.bytes_written")
+        assert list(series.values) == [5.0, 8.0]
+
+    def test_level_series_passthrough(self):
+        profile = make_profile([{"mem.rss": 5.0}, {"mem.rss": 3.0}])
+        series = profile.series("mem.rss")
+        assert list(series.values) == [5.0, 3.0]
+
+
+class TestTruncate:
+    def test_truncate_keeps_prefix_and_flags(self):
+        profile = make_profile([{"a": 1.0}, {"a": 2.0}, {"a": 3.0}])
+        cut = profile.truncate(2)
+        assert cut.n_samples == 2
+        assert cut.truncated
+        assert not profile.truncated
+        assert cut.totals()["a"] == pytest.approx(3.0)
+
+    def test_truncate_is_deep_copy(self):
+        profile = make_profile([{"a": 1.0}])
+        cut = profile.truncate(1)
+        cut.samples[0].values["a"] = 99.0
+        assert profile.samples[0].values["a"] == 1.0
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        profile = make_profile(
+            [{"cpu.cycles_used": 1.5}],
+            tags=("x=1",),
+            machine={"name": "thinkie"},
+            statics={"sys.cores": 4},
+            info={"note": "hi"},
+        )
+        back = Profile.from_dict(profile.to_dict())
+        assert back.command == profile.command
+        assert back.tags == profile.tags
+        assert back.machine == profile.machine
+        assert back.statics == profile.statics
+        assert back.n_samples == profile.n_samples
+        assert back.samples[0].values == profile.samples[0].values
+
+    def test_document_size_positive(self):
+        profile = make_profile([{}])
+        assert profile.document_size() > 50
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["cpu.cycles_used", "io.bytes_read", "mem.rss"]),
+                st.floats(0, 1e12, allow_nan=False),
+                max_size=3,
+            ),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def test_roundtrip_property(self, values):
+        profile = make_profile(values)
+        back = Profile.from_dict(profile.to_dict())
+        assert back.totals() == profile.totals()
+        assert back.n_samples == profile.n_samples
+
+
+class TestMergeWatcherSeries:
+    def test_counters_start_at_zero(self):
+        """The spawn-to-first-sample offset must not be swallowed."""
+        cum = {"c": TimeSeries([1.0, 2.0], [10.0, 12.0])}
+        samples = Profile.merge_watcher_series([(0.0, 1.0), (1.0, 1.0)], cum, {})
+        assert samples[0].values["c"] == pytest.approx(10.0)
+        assert samples[1].values["c"] == pytest.approx(2.0)
+
+    def test_deltas_conserve_total(self):
+        cum = {"c": TimeSeries([0.5, 1.5, 2.5], [1.0, 4.0, 9.0])}
+        grid = [(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]
+        samples = Profile.merge_watcher_series(grid, cum, {})
+        assert sum(s.values["c"] for s in samples) == pytest.approx(9.0)
+
+    def test_levels_sampled_at_interval_end(self):
+        lev = {"l": TimeSeries([0.0, 2.0], [0.0, 10.0])}
+        samples = Profile.merge_watcher_series([(0.0, 1.0), (1.0, 1.0)], {}, lev)
+        assert samples[0].values["l"] == pytest.approx(5.0)
+        assert samples[1].values["l"] == pytest.approx(10.0)
+
+    def test_watcher_times_attached(self):
+        cum = {"c": TimeSeries([1.0], [1.0])}
+        samples = Profile.merge_watcher_series(
+            [(0.0, 1.0)], cum, {}, watcher_times={"cpu": [0.98]}
+        )
+        assert samples[0].watcher_times == {"cpu": 0.98}
+
+    def test_empty_grid(self):
+        assert Profile.merge_watcher_series([], {}, {}) == []
+
+
+class TestNormalisationOnInit:
+    def test_command_normalised(self):
+        profile = Profile(command="  a   b ")
+        assert profile.command == "a b"
+
+    def test_tags_normalised(self):
+        profile = Profile(command="x", tags={"k": 1})
+        assert profile.tags == ("k=1",)

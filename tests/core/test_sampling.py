@@ -1,0 +1,155 @@
+"""Sampling-policy tests (including the §6 adaptive-rate future work)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import GromacsModel
+from repro.core.config import SynapseConfig
+from repro.core.errors import ConfigError
+from repro.core.profiler import Profiler
+from repro.core.sampling import AdaptiveRate, ConstantRate, policy_from_config
+
+from tests.conftest import make_backend
+
+
+class TestConstantRate:
+    def test_interval(self):
+        policy = ConstantRate(rate=4.0)
+        assert policy.interval_at(0.0) == pytest.approx(0.25)
+        assert policy.interval_at(100.0) == pytest.approx(0.25)
+
+    def test_grid_covers_runtime(self):
+        grid = ConstantRate(rate=2.0).grid(2.6)
+        assert len(grid) == 6  # full periods only: 6 * 0.5 = 3.0 >= 2.6
+        assert grid[0] == (0.0, 0.5)
+        assert grid[-1][0] + grid[-1][1] >= 2.6
+
+    def test_zero_runtime_single_sample(self):
+        assert len(ConstantRate(rate=1.0).grid(0.0)) == 1
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            ConstantRate(rate=0.0)
+        with pytest.raises(ConfigError):
+            ConstantRate(rate=11.0)
+
+    def test_describe(self):
+        assert ConstantRate(rate=2.0).describe() == {"policy": "constant", "rate": 2.0}
+
+
+class TestAdaptiveRate:
+    def test_high_rate_during_startup(self):
+        policy = AdaptiveRate(initial_rate=10.0, settle_seconds=5.0, base_rate=1.0)
+        assert policy.interval_at(0.0) == pytest.approx(0.1)
+        assert policy.interval_at(4.99) == pytest.approx(0.1)
+        assert policy.interval_at(5.0) == pytest.approx(1.0)
+
+    def test_grid_mixes_intervals(self):
+        policy = AdaptiveRate(initial_rate=10.0, settle_seconds=1.0, base_rate=1.0)
+        grid = policy.grid(4.0)
+        dts = [dt for _, dt in grid]
+        assert dts[:10] == [0.1] * 10
+        assert dts[10:] == [1.0] * 3
+        # Grid is contiguous.
+        for (t0, dt), (t1, _) in zip(grid, grid[1:]):
+            assert t1 == pytest.approx(t0 + dt)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdaptiveRate(initial_rate=0.5, base_rate=1.0)  # initial < base
+        with pytest.raises(ConfigError):
+            AdaptiveRate(initial_rate=20.0)
+        with pytest.raises(ConfigError):
+            AdaptiveRate(settle_seconds=-1.0)
+
+    @given(st.floats(0.1, 100.0))
+    def test_grid_always_covers(self, runtime):
+        policy = AdaptiveRate(initial_rate=10.0, settle_seconds=2.0, base_rate=0.5)
+        grid = policy.grid(runtime)
+        end = grid[-1][0] + grid[-1][1]
+        assert end >= runtime
+        # No sample starts after the runtime.
+        assert grid[-1][0] < runtime
+
+
+class TestPolicyFromConfig:
+    def test_constant_default(self):
+        policy = policy_from_config(SynapseConfig(sample_rate=2.0))
+        assert isinstance(policy, ConstantRate)
+        assert policy.rate == 2.0
+
+    def test_adaptive(self):
+        config = SynapseConfig(
+            sample_rate=0.5,
+            sampling_policy="adaptive",
+            adaptive_initial_rate=10.0,
+            adaptive_settle_seconds=3.0,
+        )
+        policy = policy_from_config(config)
+        assert isinstance(policy, AdaptiveRate)
+        assert policy.base_rate == 0.5
+        assert policy.settle_seconds == 3.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            SynapseConfig(sampling_policy="chaotic")
+
+
+class TestAdaptiveProfiling:
+    def test_startup_captured_at_high_rate(self):
+        """The §6 motivation: adaptive sampling resolves startup detail
+        while keeping the total sample count low on long runs."""
+        app = GromacsModel(iterations=2_000_000)  # Tx ~ 43 s on thinkie
+        adaptive = Profiler(
+            make_backend(),
+            config=SynapseConfig(
+                sample_rate=0.5,
+                sampling_policy="adaptive",
+                adaptive_initial_rate=10.0,
+                adaptive_settle_seconds=2.0,
+            ),
+        ).run(app, command="x")
+        constant_slow = Profiler(
+            make_backend(), config=SynapseConfig(sample_rate=0.5)
+        ).run(app, command="x")
+        constant_fast = Profiler(
+            make_backend(), config=SynapseConfig(sample_rate=10.0)
+        ).run(app, command="x")
+
+        # Startup window resolved at 0.1 s granularity...
+        startup_samples = [s for s in adaptive.samples if s.t < 2.0]
+        assert len(startup_samples) == 20
+        # ...while the total stays far below the constant-10Hz count.
+        assert adaptive.n_samples < 0.2 * constant_fast.n_samples
+        assert adaptive.n_samples > constant_slow.n_samples
+        # Totals unaffected by the policy (counters are lossless).
+        assert adaptive.totals()["cpu.instructions"] == pytest.approx(
+            constant_slow.totals()["cpu.instructions"], rel=1e-6
+        )
+        # RSS ramp visible at full height (high-rate startup capture).
+        assert adaptive.totals()["mem.rss"] == pytest.approx(
+            constant_fast.totals()["mem.rss"], rel=0.01
+        )
+
+    def test_adaptive_profile_replays(self):
+        """Non-uniform grids replay like any other profile."""
+        from repro.core.emulator import Emulator
+
+        app = GromacsModel(iterations=200_000)
+        prof = Profiler(
+            make_backend(),
+            config=SynapseConfig(
+                sample_rate=1.0,
+                sampling_policy="adaptive",
+                adaptive_initial_rate=10.0,
+                adaptive_settle_seconds=1.0,
+            ),
+        ).run(app, command="x")
+        result = Emulator(backend=make_backend()).run(prof)
+        consumed = result.handle.record.totals()["cpu.cycles_used"]
+        assert consumed == pytest.approx(
+            prof.totals()["cpu.cycles_used"] * 1.03, rel=0.02
+        )

@@ -1,0 +1,110 @@
+"""Multi-profile statistics tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SynapseError
+from repro.core.samples import Profile, Sample
+from repro.core.statistics import aggregate, error_percent, summarize_comparison
+
+
+def profile_with(cycles: float) -> Profile:
+    return Profile(
+        command="app",
+        samples=[Sample(0, 0.0, 1.0, {"cpu.cycles_used": cycles, "time.runtime": 1.0})],
+    )
+
+
+class TestAggregate:
+    def test_identical_profiles_zero_variance(self):
+        stats = aggregate([profile_with(10.0)] * 5)
+        metric = stats.metric("cpu.cycles_used")
+        assert metric.mean == pytest.approx(10.0)
+        assert metric.std == 0.0
+        assert metric.ci99 == 0.0
+        assert metric.n == 5
+
+    def test_mean_and_bounds(self):
+        stats = aggregate([profile_with(v) for v in (1.0, 2.0, 3.0)])
+        metric = stats.metric("cpu.cycles_used")
+        assert metric.mean == pytest.approx(2.0)
+        assert metric.minimum == 1.0
+        assert metric.maximum == 3.0
+
+    def test_ci_shrinks_with_repeats(self):
+        values4 = [1.0, 2.0, 3.0, 4.0]
+        values16 = values4 * 4
+        ci4 = aggregate([profile_with(v) for v in values4]).metric("cpu.cycles_used").ci99
+        ci16 = aggregate([profile_with(v) for v in values16]).metric("cpu.cycles_used").ci99
+        assert ci16 < ci4 / 1.5  # roughly 1/sqrt(k) shrinkage
+
+    def test_tx_included(self):
+        stats = aggregate([profile_with(1.0)])
+        assert stats.metric("tx").mean == pytest.approx(1.0)
+
+    def test_derived_included(self):
+        stats = aggregate([profile_with(5.0)])
+        assert "cpu.efficiency" in stats.metrics
+
+    def test_zero_profiles_rejected(self):
+        with pytest.raises(SynapseError):
+            aggregate([])
+
+    def test_unknown_metric_raises(self):
+        stats = aggregate([profile_with(1.0)])
+        with pytest.raises(SynapseError):
+            stats.metric("nope")
+
+    def test_partial_metrics_dropped(self):
+        full = profile_with(1.0)
+        partial = Profile(command="app", samples=[Sample(0, 0.0, 1.0, {"time.runtime": 1.0})])
+        stats = aggregate([full, partial])
+        assert "cpu.cycles_used" not in stats.metrics
+        assert "time.runtime" in stats.metrics
+
+    def test_table_renders(self):
+        stats = aggregate([profile_with(1.0)])
+        assert "cpu.cycles_used" in stats.table().render()
+
+    def test_single_profile_no_ci(self):
+        metric = aggregate([profile_with(2.0)]).metric("cpu.cycles_used")
+        assert metric.std == 0.0
+        assert metric.ci99 == 0.0
+
+    @given(st.lists(st.floats(1.0, 1e6, allow_nan=False), min_size=2, max_size=20))
+    def test_mean_within_bounds_property(self, values):
+        stats = aggregate([profile_with(v) for v in values])
+        metric = stats.metric("cpu.cycles_used")
+        assert metric.minimum - 1e-9 <= metric.mean <= metric.maximum + 1e-9
+        assert metric.sem == pytest.approx(metric.std / math.sqrt(metric.n))
+
+
+class TestErrorPercent:
+    def test_basic(self):
+        assert error_percent(100.0, 110.0) == pytest.approx(10.0)
+        assert error_percent(100.0, 90.0) == pytest.approx(10.0)
+
+    def test_zero_reference(self):
+        assert error_percent(0.0, 0.0) == 0.0
+        assert error_percent(0.0, 1.0) == float("inf")
+
+    def test_summarize_comparison(self):
+        result = summarize_comparison({"a": 10.0, "b": 5.0}, {"a": 11.0})
+        assert result == {"a": pytest.approx(10.0)}
+
+
+class TestCompatibility:
+    def test_compatible_means(self):
+        a = aggregate([profile_with(v) for v in (9.0, 10.0, 11.0)]).metric("cpu.cycles_used")
+        b = aggregate([profile_with(v) for v in (9.5, 10.5, 11.5)]).metric("cpu.cycles_used")
+        assert a.compatible_with(b)
+
+    def test_incompatible_means(self):
+        a = aggregate([profile_with(v) for v in (9.0, 10.0, 11.0)]).metric("cpu.cycles_used")
+        b = aggregate([profile_with(v) for v in (99.0, 100.0, 101.0)]).metric("cpu.cycles_used")
+        assert not a.compatible_with(b)

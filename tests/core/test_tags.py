@@ -1,0 +1,73 @@
+"""Command/tag normalisation tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tags import normalize_command, normalize_tags, profile_key, tags_match
+
+
+class TestNormalizeTags:
+    def test_none(self):
+        assert normalize_tags(None) == ()
+
+    def test_string(self):
+        assert normalize_tags("steps=1000") == ("steps=1000",)
+
+    def test_list_sorted_deduped(self):
+        assert normalize_tags(["b", "a", "b"]) == ("a", "b")
+
+    def test_mapping(self):
+        assert normalize_tags({"steps": 1000, "x": "y"}) == ("steps=1000", "x=y")
+
+    def test_whitespace_stripped(self):
+        assert normalize_tags(["  a  ", ""]) == ("a",)
+
+    def test_non_string_items(self):
+        assert normalize_tags([1, 2]) == ("1", "2")
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            normalize_tags(3.14)
+
+
+class TestNormalizeCommand:
+    def test_whitespace_collapsed(self):
+        assert normalize_command("  gmx   mdrun ") == "gmx mdrun"
+
+    def test_argv_list(self):
+        assert normalize_command(["gmx", "mdrun", "-nsteps", 100]) == "gmx mdrun -nsteps 100"
+
+    def test_callable(self):
+        def my_function():
+            pass
+
+        name = normalize_command(my_function)
+        assert name.startswith("python:")
+        assert "my_function" in name
+
+
+class TestMatching:
+    def test_profile_key(self):
+        assert profile_key(" a  b ", {"k": 1}) == ("a b", ("k=1",))
+
+    def test_tags_match_subset(self):
+        assert tags_match(("a", "b"), ["a"])
+        assert tags_match(("a", "b"), None)
+        assert not tags_match(("a",), ["a", "b"])
+
+    @given(st.lists(st.text(min_size=1, max_size=8), max_size=6))
+    def test_self_match(self, tags):
+        stored = normalize_tags(tags)
+        assert tags_match(stored, tags)
+
+    @given(
+        st.lists(st.text(min_size=1, max_size=8), max_size=6),
+        st.lists(st.text(min_size=1, max_size=8), max_size=6),
+    )
+    def test_match_is_subset_relation(self, stored, query):
+        stored_n = normalize_tags(stored)
+        result = tags_match(stored_n, query)
+        assert result == set(normalize_tags(query)).issubset(set(stored_n))

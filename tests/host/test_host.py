@@ -1,0 +1,128 @@
+"""Host plane tests: /proc readers, host info, real process profiling."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import SynapseConfig
+from repro.core.errors import BackendError
+from repro.core.profiler import Profiler
+from repro.host import hostinfo, procfs
+from repro.host.backend import HostBackend
+
+
+class TestProcfs:
+    def test_read_self_stat(self):
+        stat = procfs.read_stat(os.getpid())
+        assert stat is not None
+        assert stat.utime >= 0.0
+        assert stat.num_threads >= 1
+
+    def test_read_self_status(self):
+        status = procfs.read_status(os.getpid())
+        assert status is not None
+        assert status.vm_rss > 1 << 20  # a Python process is >1MB resident
+
+    def test_missing_pid_returns_none(self):
+        assert procfs.read_stat(2**22 + 12345) is None
+        assert procfs.read_status(2**22 + 12345) is None
+        assert procfs.read_io(2**22 + 12345) is None
+
+
+class TestHostInfo:
+    def test_cpu_count_positive(self):
+        assert hostinfo.cpu_count() >= 1
+
+    def test_frequency_plausible(self):
+        freq = hostinfo.cpu_frequency()
+        assert 5e8 < freq < 1e10
+
+    def test_machine_info_keys(self):
+        info = hostinfo.machine_info()
+        assert info["backend"] == "host"
+        assert info["cores"] >= 1
+
+
+class TestHostBackend:
+    def test_spawn_command(self):
+        backend = HostBackend()
+        handle = backend.spawn(["sleep", "0.3"])
+        assert handle.alive()
+        assert handle.wait() == 0
+        assert not handle.alive()
+        assert handle.rusage()["time.runtime"] == pytest.approx(0.3, abs=0.25)
+
+    def test_spawn_command_string(self):
+        backend = HostBackend()
+        handle = backend.spawn("sleep 0.1")
+        assert handle.wait() == 0
+
+    def test_spawn_callable(self):
+        def child():
+            time.sleep(0.2)
+
+        backend = HostBackend()
+        handle = backend.spawn(child)
+        assert handle.wait() == 0
+
+    def test_exit_code_propagated(self):
+        backend = HostBackend()
+        handle = backend.spawn(["false"])
+        assert handle.wait() != 0
+
+    def test_bad_command_raises(self):
+        with pytest.raises(BackendError):
+            HostBackend().spawn(["/no/such/binary/anywhere"])
+
+    def test_bad_target_type(self):
+        with pytest.raises(BackendError):
+            HostBackend().spawn(42)
+
+    def test_counters_monotone_runtime(self):
+        backend = HostBackend()
+        handle = backend.spawn(["sleep", "0.3"])
+        first = handle.counters()["time.runtime"]
+        time.sleep(0.1)
+        second = handle.counters()["time.runtime"]
+        handle.wait()
+        assert second >= first
+
+    def test_counters_survive_exit(self):
+        backend = HostBackend()
+        handle = backend.spawn(["sleep", "0.1"])
+        handle.wait()
+        counters = handle.counters()
+        assert counters["time.runtime"] >= 0.1
+
+
+class TestHostProfiling:
+    def test_profile_cpu_bound_callable(self):
+        def spin():
+            x = 1.0001
+            deadline = time.time() + 0.6
+            while time.time() < deadline:
+                for _ in range(5000):
+                    x = x * 1.0000001 + 1e-9
+
+        backend = HostBackend()
+        profiler = Profiler(backend, config=SynapseConfig(sample_rate=10.0))
+        profile = profiler.run(spin, command="spin test")
+        assert profile.command == "spin test"
+        assert profile.tx == pytest.approx(0.6, abs=0.4)
+        totals = profile.totals()
+        # A CPU-bound child spends most wall time on-CPU.
+        assert totals["time.utime"] > 0.3
+        assert totals["cpu.cycles_used"] > 0
+        assert totals["mem.peak"] > 1 << 20
+        assert profile.n_samples >= 3
+
+    def test_profile_sleep_command(self):
+        backend = HostBackend()
+        profiler = Profiler(backend, config=SynapseConfig(sample_rate=10.0))
+        profile = profiler.run("sleep 0.4", command="sleep 0.4")
+        assert profile.tx == pytest.approx(0.4, abs=0.3)
+        # The sleep limitation: almost no CPU time.
+        assert profile.totals()["time.utime"] < 0.2

@@ -1,0 +1,73 @@
+"""Artificial load generator tests."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.load import CPULoad, DiskLoad, MemoryLoad
+
+
+class TestLifecycle:
+    def test_context_manager(self):
+        with CPULoad(workers=1, duty=0.2) as load:
+            assert load.running
+        assert not load.running
+
+    def test_start_idempotent(self):
+        load = CPULoad(workers=1, duty=0.2)
+        load.start()
+        threads = list(load._threads)
+        load.start()
+        assert load._threads == threads
+        load.stop()
+
+    def test_stop_without_start(self):
+        CPULoad(workers=1).stop()  # must not raise
+
+
+class TestCPULoad:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CPULoad(workers=0)
+        with pytest.raises(ValueError):
+            CPULoad(duty=0.0)
+        with pytest.raises(ValueError):
+            CPULoad(duty=1.5)
+
+    def test_burns_cpu(self):
+        import os
+
+        with CPULoad(workers=1, duty=1.0):
+            t0 = os.times()
+            time.sleep(0.2)
+            t1 = os.times()
+        burned = (t1.user + t1.system) - (t0.user + t0.system)
+        assert burned > 0.05
+
+
+class TestMemoryLoad:
+    def test_holds_bytes(self):
+        load = MemoryLoad(4 << 20)
+        with load:
+            time.sleep(0.05)
+            assert load.held_bytes == 4 << 20
+        time.sleep(0.05)
+        assert load.held_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryLoad(-1)
+
+
+class TestDiskLoad:
+    def test_writes_bytes(self, tmp_path):
+        load = DiskLoad(rate_bytes_per_s=10 << 20, directory=str(tmp_path))
+        with load:
+            time.sleep(0.25)
+        assert load.bytes_written > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskLoad(rate_bytes_per_s=0)

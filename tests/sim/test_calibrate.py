@@ -1,0 +1,132 @@
+"""Machine-calibration tooling tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CalibrationError
+from repro.sim.calibrate import (
+    ComputeSample,
+    IOSample,
+    fit_cpu,
+    fit_filesystem,
+    machine_from_host,
+)
+from repro.sim.filesystem import FilesystemModel
+
+
+def synth_io_samples(model: FilesystemModel, op: str) -> list[IOSample]:
+    samples = []
+    for nbytes in (1 << 20, 16 << 20, 64 << 20):
+        for block_size in (4 << 10, 256 << 10, 1 << 20):
+            seconds = (
+                model.read_time(nbytes, block_size)
+                if op == "read"
+                else model.write_time(nbytes, block_size)
+            )
+            samples.append(IOSample(nbytes, block_size, seconds, op))
+    return samples
+
+
+class TestFitFilesystem:
+    def test_recovers_known_write_parameters(self):
+        truth = FilesystemModel(
+            name="truth",
+            write_latency=2e-3,
+            write_bandwidth=2e8,
+            cache_hit_fraction=0.0,
+        )
+        fitted = fit_filesystem(synth_io_samples(truth, "write"))
+        assert fitted.write_latency == pytest.approx(truth.write_latency, rel=0.01)
+        assert fitted.write_bandwidth == pytest.approx(truth.write_bandwidth, rel=0.01)
+
+    def test_recovers_known_read_parameters(self):
+        truth = FilesystemModel(
+            name="truth",
+            read_latency=5e-4,
+            read_bandwidth=8e8,
+            cache_hit_fraction=0.0,
+        )
+        fitted = fit_filesystem(synth_io_samples(truth, "read"))
+        assert fitted.read_latency == pytest.approx(truth.read_latency, rel=0.01)
+        assert fitted.read_bandwidth == pytest.approx(truth.read_bandwidth, rel=0.01)
+
+    def test_fitted_model_predicts(self):
+        truth = FilesystemModel(
+            name="truth", write_latency=1e-3, write_bandwidth=1e8, cache_hit_fraction=0.0
+        )
+        fitted = fit_filesystem(synth_io_samples(truth, "write"))
+        assert fitted.write_time(32 << 20, 64 << 10) == pytest.approx(
+            truth.write_time(32 << 20, 64 << 10), rel=0.02
+        )
+
+    def test_needs_block_size_variation(self):
+        samples = [IOSample(1 << 20, 4096, 0.1), IOSample(2 << 20, 4096, 0.2)]
+        with pytest.raises(CalibrationError):
+            fit_filesystem(samples)
+
+    def test_needs_samples(self):
+        with pytest.raises(CalibrationError):
+            fit_filesystem([])
+
+
+class TestFitCPU:
+    def test_recovers_rate(self):
+        rate_truth = 5e9  # instructions per second
+        samples = [
+            ComputeSample(instructions=n, seconds=n / rate_truth)
+            for n in (1e9, 5e9, 2e10)
+        ]
+        rate, ipc = fit_cpu(samples, frequency=2.5e9)
+        assert rate == pytest.approx(rate_truth, rel=1e-9)
+        assert ipc == pytest.approx(2.0, rel=1e-9)
+
+    def test_without_frequency_no_ipc(self):
+        rate, ipc = fit_cpu([ComputeSample(1e9, 0.5)])
+        assert rate == pytest.approx(2e9)
+        assert ipc is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CalibrationError):
+            fit_cpu([ComputeSample(0.0, 1.0)])
+        with pytest.raises(CalibrationError):
+            fit_cpu([])
+
+
+class TestMachineFromHost:
+    def test_reflects_host_facts(self):
+        from repro.host import hostinfo
+
+        machine = machine_from_host("here")
+        assert machine.name == "here"
+        assert machine.cpu.cores == hostinfo.cpu_count()
+        assert machine.cpu.frequency == hostinfo.cpu_frequency()
+
+    def test_runs_workloads(self):
+        from repro.apps import GromacsModel
+        from repro.sim.backend import SimBackend
+
+        backend = SimBackend(machine_from_host(), noisy=False)
+        handle = backend.spawn(GromacsModel(iterations=10_000))
+        assert handle.duration > 0
+
+    def test_host_profile_replays_on_fitted_machine(self):
+        """Round trip: profile on host, emulate on a model of the host."""
+        import time
+
+        from repro.core.api import emulate, profile
+        from repro.core.config import SynapseConfig
+        from repro.sim.backend import SimBackend
+
+        def spin():
+            deadline = time.time() + 0.5
+            x = 1.0001
+            while time.time() < deadline:
+                for _ in range(5000):
+                    x = x * 1.0000001 + 1e-9
+
+        prof = profile(spin, config=SynapseConfig(sample_rate=10.0))
+        backend = SimBackend(machine_from_host(), noisy=False)
+        result = emulate(prof, backend=backend)
+        # Startup (~1s modelled) + replayed cycles: same order as source.
+        assert result.tx == pytest.approx(prof.tx + 1.0, rel=0.8)

@@ -1,0 +1,90 @@
+"""Virtual clock and noise model tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import VirtualClock
+from repro.sim.noise import NoiseModel, seed_from
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now() == 1.5
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_forward_only(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 2.0
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), max_size=20))
+    def test_monotone_property(self, steps):
+        clock = VirtualClock()
+        previous = clock.now()
+        for step in steps:
+            clock.advance(step)
+            assert clock.now() >= previous
+            previous = clock.now()
+
+
+class TestNoiseModel:
+    def test_silent_is_identity(self):
+        noise = NoiseModel.silent()
+        assert noise.duration(1.23) == 1.23
+        assert noise.counter(4.56) == 4.56
+
+    def test_deterministic_per_seed(self):
+        a = [NoiseModel(seed=7).duration(1.0) for _ in range(3)]
+        b = [NoiseModel(seed=7).duration(1.0) for _ in range(3)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert NoiseModel(seed=1).duration(1.0) != NoiseModel(seed=2).duration(1.0)
+
+    def test_zero_untouched(self):
+        noise = NoiseModel(seed=0)
+        assert noise.duration(0.0) == 0.0
+        assert noise.counter(0.0) == 0.0
+
+    def test_values_stay_positive(self):
+        noise = NoiseModel(seed=3, duration_sigma=0.1)
+        assert all(noise.duration(1.0) > 0 for _ in range(100))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(duration_sigma=-0.1)
+
+    def test_scatter_scale(self):
+        noise = NoiseModel(seed=11, duration_sigma=0.01)
+        values = [noise.duration(1.0) for _ in range(500)]
+        import numpy as np
+
+        assert np.std(values) == pytest.approx(0.01, rel=0.35)
+
+
+class TestSeedFrom:
+    def test_stable(self):
+        assert seed_from("a", 1) == seed_from("a", 1)
+
+    def test_distinguishes_parts(self):
+        assert seed_from("a", 1) != seed_from("a", 2)
+        assert seed_from("ab") != seed_from("a", "b")
+
+    def test_returns_32bit(self):
+        assert 0 <= seed_from("anything", 42) < 2**32

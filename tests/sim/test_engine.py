@@ -1,0 +1,321 @@
+"""Simulation engine tests: costing, conservation, concurrency, barriers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import WorkloadError
+from repro.sim.demands import (
+    ComputeDemand,
+    IODemand,
+    MemoryDemand,
+    NetworkDemand,
+    SleepDemand,
+)
+from repro.sim.engine import Engine
+from repro.sim.machines import get_machine
+from repro.sim.noise import NoiseModel
+from repro.sim.workload import SimWorkload
+
+
+def engine(machine: str = "thinkie") -> Engine:
+    return Engine(get_machine(machine), NoiseModel.silent())
+
+
+def single_stream_workload(*demands, name: str = "wl") -> SimWorkload:
+    workload = SimWorkload(name=name)
+    stream = workload.phase("main").stream("main")
+    for demand in demands:
+        stream.add(demand)
+    return workload
+
+
+class TestComputeCosting:
+    def test_duration_is_cycles_over_frequency(self):
+        machine = get_machine("thinkie")
+        instr = 1e9
+        record = engine().run(
+            single_stream_workload(ComputeDemand(instructions=instr, workload_class="app.md"))
+        )
+        spec = machine.cpu.spec("app.md")
+        expected = instr / spec.ipc / machine.cpu.frequency
+        assert record.duration == pytest.approx(expected)
+
+    def test_counters_match_model(self):
+        machine = get_machine("thinkie")
+        record = engine().run(
+            single_stream_workload(
+                ComputeDemand(
+                    instructions=1e9, workload_class="app.md", flops_per_instruction=0.5
+                )
+            )
+        )
+        totals = record.totals()
+        spec = machine.cpu.spec("app.md")
+        assert totals["cpu.instructions"] == pytest.approx(1e9)
+        assert totals["cpu.cycles_used"] == pytest.approx(1e9 / spec.ipc)
+        assert totals["cpu.flops"] == pytest.approx(5e8)
+        stalled = totals["cpu.cycles_stalled_front"] + totals["cpu.cycles_stalled_back"]
+        assert stalled == pytest.approx(totals["cpu.cycles_used"] * spec.stall_ratio)
+
+    def test_calibrated_cycles_apply_bias(self):
+        machine = get_machine("comet")
+        target = 1e10
+        record = engine("comet").run(
+            single_stream_workload(
+                ComputeDemand(
+                    instructions=0.0,
+                    workload_class="kernel.asm",
+                    calibrated_cycles=target,
+                )
+            )
+        )
+        bias = machine.cpu.spec("kernel.asm").cycle_bias
+        assert record.totals()["cpu.cycles_used"] == pytest.approx(target * bias)
+
+    def test_threads_shorten_duration(self):
+        serial = engine("titan").run(
+            single_stream_workload(ComputeDemand(instructions=1e10, workload_class="app.md"))
+        )
+        parallel = engine("titan").run(
+            single_stream_workload(
+                ComputeDemand(instructions=1e10, workload_class="app.md", threads=8)
+            )
+        )
+        assert parallel.duration < serial.duration
+        # ... but consume more cycles (parallel overhead).
+        assert (
+            parallel.totals()["cpu.cycles_used"] > serial.totals()["cpu.cycles_used"]
+        )
+
+    def test_unknown_class_uses_default(self):
+        record = engine().run(
+            single_stream_workload(ComputeDemand(instructions=1e9, workload_class="no.such"))
+        )
+        assert record.duration > 0
+
+
+class TestIOCosting:
+    def test_io_duration_matches_fs_model(self):
+        machine = get_machine("titan")
+        demand = IODemand(bytes_written=64 << 20, block_size=1 << 20, filesystem="lustre")
+        record = engine("titan").run(single_stream_workload(demand))
+        expected = machine.filesystem("lustre").write_time(64 << 20, 1 << 20)
+        assert record.duration == pytest.approx(expected)
+
+    def test_io_counters(self):
+        record = engine().run(
+            single_stream_workload(
+                IODemand(bytes_read=100, bytes_written=200, filesystem="local")
+            )
+        )
+        totals = record.totals()
+        assert totals["io.bytes_read"] == pytest.approx(100)
+        assert totals["io.bytes_written"] == pytest.approx(200)
+
+    def test_io_events_recorded(self):
+        record = engine().run(
+            single_stream_workload(
+                IODemand(bytes_read=100, bytes_written=200, block_size=50, filesystem="local")
+            )
+        )
+        ops = sorted(e.op for e in record.io_events)
+        assert ops == ["read", "write"]
+        assert all(e.block_size == 50 for e in record.io_events)
+
+    def test_unknown_filesystem_raises(self):
+        with pytest.raises(KeyError):
+            engine().run(
+                single_stream_workload(IODemand(bytes_read=1, filesystem="lustre"))
+            )
+
+
+class TestMemoryAndLevels:
+    def test_rss_tracks_alloc_free(self):
+        workload = SimWorkload(name="mem", base_rss=1000)
+        stream = workload.phase("main").stream("main")
+        stream.add(MemoryDemand(allocate=5000))
+        stream.add(SleepDemand(1.0))
+        stream.add(MemoryDemand(free=3000))
+        record = engine().run(workload)
+        rss = record.levels["mem.rss"]
+        assert rss.value_at(0.0) == pytest.approx(1000)
+        assert rss.value_at(0.5) == pytest.approx(6000)
+        assert record.counters_at(record.duration)["mem.rss"] == pytest.approx(3000)
+
+    def test_peak_is_running_max(self):
+        workload = SimWorkload(name="mem", base_rss=0)
+        stream = workload.phase("main").stream("main")
+        stream.add(MemoryDemand(allocate=100))
+        stream.add(MemoryDemand(free=100))
+        record = engine().run(workload)
+        assert record.totals()["mem.peak"] == pytest.approx(100)
+        assert record.totals()["mem.rss"] == pytest.approx(100)  # max of level
+
+    def test_rss_never_negative(self):
+        workload = SimWorkload(name="mem", base_rss=10)
+        workload.phase("p").stream("s").add(MemoryDemand(free=10_000))
+        record = engine().run(workload)
+        assert record.levels["mem.rss"].values.min() >= 0.0
+
+    def test_memory_counters(self):
+        record = engine().run(
+            single_stream_workload(MemoryDemand(allocate=100, free=40))
+        )
+        assert record.totals()["mem.allocated"] == pytest.approx(100)
+        assert record.totals()["mem.freed"] == pytest.approx(40)
+
+
+class TestNetworkAndSleep:
+    def test_network_counters(self):
+        record = engine().run(
+            single_stream_workload(NetworkDemand(bytes_sent=100, bytes_received=50))
+        )
+        assert record.totals()["net.bytes_written"] == pytest.approx(100)
+        assert record.totals()["net.bytes_read"] == pytest.approx(50)
+
+    def test_sleep_consumes_only_time(self):
+        record = engine().run(single_stream_workload(SleepDemand(2.5)))
+        assert record.duration == pytest.approx(2.5)
+        assert record.totals().get("cpu.cycles_used", 0.0) == 0.0
+
+    def test_unsupported_demand_raises(self):
+        class Strange:
+            pass
+
+        workload = SimWorkload(name="bad")
+        workload.phase("p").stream("s").demands.append(Strange())
+        with pytest.raises(WorkloadError):
+            engine().run(workload)
+
+
+class TestPhasesAndConcurrency:
+    def test_phases_are_barriers(self):
+        workload = SimWorkload(name="phases")
+        workload.phase("a").stream("s").add(SleepDemand(1.0))
+        workload.phase("b").stream("s").add(SleepDemand(2.0))
+        record = engine().run(workload)
+        assert record.phase_bounds == [(0.0, pytest.approx(1.0)), (pytest.approx(1.0), pytest.approx(3.0))]
+
+    def test_streams_overlap_within_phase(self):
+        workload = SimWorkload(name="overlap")
+        phase = workload.phase("p")
+        phase.stream("a").add(SleepDemand(1.0))
+        phase.stream("b").add(SleepDemand(1.5))
+        record = engine().run(workload)
+        assert record.duration == pytest.approx(1.5)
+
+    def test_compute_and_io_do_not_contend(self):
+        """One compute + one I/O stream run fully concurrently (Fig 2)."""
+        compute = ComputeDemand(instructions=2.67e9, workload_class="app.md")
+        io = IODemand(bytes_written=1 << 20, filesystem="local")
+        serial = engine().run(single_stream_workload(compute, io)).duration
+        workload = SimWorkload(name="conc")
+        phase = workload.phase("p")
+        phase.stream("c").add(compute)
+        phase.stream("i").add(io)
+        concurrent = engine().run(workload).duration
+        assert concurrent < serial
+        assert concurrent == pytest.approx(
+            max(
+                engine().run(single_stream_workload(compute)).duration,
+                engine().run(single_stream_workload(io)).duration,
+            )
+        )
+
+    def test_cpu_oversubscription_slows_down(self):
+        """More CPU streams than cores stretch compute durations."""
+        machine = get_machine("thinkie")  # 4 cores
+        demand = ComputeDemand(instructions=2.67e9, workload_class="app.md")
+        workload = SimWorkload(name="flood")
+        phase = workload.phase("p")
+        for i in range(8):
+            phase.stream(f"s{i}").add(demand)
+        record = engine().run(workload)
+        single = engine().run(single_stream_workload(demand)).duration
+        assert record.duration == pytest.approx(single * 8 / machine.cpu.cores)
+
+    def test_shared_filesystem_contention(self):
+        demand = IODemand(bytes_written=8 << 20, filesystem="local")
+        single = engine().run(single_stream_workload(demand)).duration
+        workload = SimWorkload(name="io2")
+        phase = workload.phase("p")
+        phase.stream("a").add(demand)
+        phase.stream("b").add(demand)
+        record = engine().run(workload)
+        assert record.duration == pytest.approx(single * 2)
+
+
+class TestRecordInvariants:
+    def test_counters_monotone(self, thinkie=None):
+        workload = single_stream_workload(
+            ComputeDemand(instructions=1e9, workload_class="app.md"),
+            IODemand(bytes_written=1 << 20, filesystem="local"),
+            MemoryDemand(allocate=1 << 20),
+        )
+        record = engine().run(workload)
+        for name, series in record.counters.items():
+            deltas = series.deltas()
+            assert (deltas >= -1e-6).all(), f"counter {name} decreased"
+
+    def test_counters_at_endpoint_equals_totals(self):
+        record = engine().run(
+            single_stream_workload(ComputeDemand(instructions=1e9, workload_class="app.md"))
+        )
+        at_end = record.counters_at(record.duration)
+        totals = record.totals()
+        for name in ("cpu.instructions", "cpu.cycles_used"):
+            assert at_end[name] == pytest.approx(totals[name])
+
+    def test_runtime_counter_clamped(self):
+        record = engine().run(single_stream_workload(SleepDemand(1.0)))
+        assert record.counters_at(99.0)["time.runtime"] == pytest.approx(1.0)
+        assert record.counters_at(-1.0)["time.runtime"] == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(1e6, 1e10),
+                st.integers(0, 1 << 24),
+                st.integers(0, 1 << 24),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_property(self, demand_specs):
+        """Record totals equal the sum of all demand amounts."""
+        workload = SimWorkload(name="prop")
+        stream = workload.phase("p").stream("s")
+        total_instr = total_read = total_written = 0.0
+        for instr, read, written in demand_specs:
+            stream.add(ComputeDemand(instructions=instr, workload_class="app.md"))
+            if read or written:
+                stream.add(
+                    IODemand(bytes_read=read, bytes_written=written, filesystem="local")
+                )
+            total_instr += instr
+            total_read += read
+            total_written += written
+        record = engine().run(workload)
+        totals = record.totals()
+        assert totals["cpu.instructions"] == pytest.approx(total_instr, rel=1e-9)
+        assert totals.get("io.bytes_read", 0.0) == pytest.approx(total_read, rel=1e-9)
+        assert totals.get("io.bytes_written", 0.0) == pytest.approx(total_written, rel=1e-9)
+
+    def test_noise_changes_duration_but_preserves_determinism(self):
+        machine = get_machine("thinkie")
+        workload = single_stream_workload(
+            ComputeDemand(instructions=1e9, workload_class="app.md")
+        )
+        noisy_a = Engine(machine, NoiseModel(seed=1)).run(workload)
+        noisy_b = Engine(machine, NoiseModel(seed=1)).run(workload)
+        noisy_c = Engine(machine, NoiseModel(seed=2)).run(workload)
+        exact = Engine(machine, NoiseModel.silent()).run(workload)
+        assert noisy_a.duration == noisy_b.duration
+        assert noisy_a.duration != noisy_c.duration
+        assert noisy_a.duration != exact.duration
+        assert noisy_a.duration == pytest.approx(exact.duration, rel=0.2)

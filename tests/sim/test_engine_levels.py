@@ -1,0 +1,92 @@
+"""Engine level-series and mid-execution interpolation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.demands import ComputeDemand, MemoryDemand, SleepDemand
+from repro.sim.engine import Engine
+from repro.sim.machines import get_machine
+from repro.sim.noise import NoiseModel
+from repro.sim.workload import SimWorkload
+
+
+def engine(machine="titan"):
+    return Engine(get_machine(machine), NoiseModel.silent())
+
+
+class TestThreadLevels:
+    def test_threads_level_during_parallel_demand(self):
+        workload = SimWorkload(name="w")
+        stream = workload.phase("p").stream("s")
+        stream.add(SleepDemand(1.0))
+        stream.add(
+            ComputeDemand(instructions=2.2e10, workload_class="app.md", threads=8)
+        )
+        stream.add(SleepDemand(1.0))
+        record = engine().run(workload)
+        threads = record.levels["cpu.threads"]
+        assert threads.value_at(0.5) == pytest.approx(1.0)
+        mid = (record.duration - 1.0 + 1.0) / 2.0
+        assert threads.value_at(mid) == pytest.approx(8.0)
+        assert threads.value_at(record.duration - 0.5) == pytest.approx(1.0)
+
+    def test_threads_clamped_to_cores(self):
+        workload = SimWorkload(name="w")
+        workload.phase("p").stream("s").add(
+            ComputeDemand(instructions=2.2e10, workload_class="app.md", threads=64)
+        )
+        record = engine().run(workload)  # titan: 16 cores
+        assert record.levels["cpu.threads"].max() == pytest.approx(16.0)
+
+    def test_load_level_scaled_by_cores(self):
+        workload = SimWorkload(name="w")
+        workload.phase("p").stream("s").add(
+            ComputeDemand(instructions=2.2e10, workload_class="app.md", threads=8)
+        )
+        record = engine().run(workload)
+        load = record.levels["sys.load_cpu"]
+        assert load.max() == pytest.approx(8.0 / 16.0)
+
+    def test_serial_run_constant_one_thread(self):
+        workload = SimWorkload(name="w")
+        workload.phase("p").stream("s").add(
+            ComputeDemand(instructions=1e9, workload_class="app.md")
+        )
+        record = engine().run(workload)
+        threads = record.levels["cpu.threads"]
+        assert threads.max() == pytest.approx(1.0)
+
+
+class TestMidRunInterpolation:
+    def test_counters_accrue_linearly_within_demand(self):
+        machine = get_machine("titan")
+        workload = SimWorkload(name="w")
+        workload.phase("p").stream("s").add(
+            ComputeDemand(instructions=2.2e10, workload_class="app.md")
+        )
+        record = engine().run(workload)
+        total = record.totals()["cpu.instructions"]
+        halfway = record.counters_at(record.duration / 2.0)["cpu.instructions"]
+        assert halfway == pytest.approx(total / 2.0, rel=1e-6)
+
+    def test_rss_between_alloc_and_free(self):
+        workload = SimWorkload(name="w", base_rss=0)
+        stream = workload.phase("p").stream("s")
+        stream.add(MemoryDemand(allocate=1000))
+        stream.add(SleepDemand(2.0))
+        stream.add(MemoryDemand(free=400))
+        stream.add(SleepDemand(2.0))
+        record = engine().run(workload)
+        rss = record.levels["mem.rss"]
+        assert rss.value_at(1.0) == pytest.approx(1000.0)
+        assert rss.value_at(record.duration - 0.5) == pytest.approx(600.0)
+        assert record.levels["mem.peak"].value_at(record.duration) == pytest.approx(1000.0)
+
+    def test_empty_phase_contributes_nothing(self):
+        workload = SimWorkload(name="w")
+        workload.phase("empty")
+        workload.phase("p").stream("s").add(SleepDemand(1.0))
+        record = engine().run(workload)
+        assert record.duration == pytest.approx(1.0)
+        assert record.phase_bounds[0] == (0.0, 0.0)

@@ -1,0 +1,114 @@
+"""Machine model registry and calibration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.machines import get_machine, list_machines
+
+
+class TestRegistry:
+    def test_all_paper_machines_present(self):
+        names = list_machines()
+        for machine in ("thinkie", "stampede", "archer", "supermic", "comet", "titan"):
+            assert machine in names
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(KeyError):
+            get_machine("frontier")
+
+    def test_specs_cached(self):
+        assert get_machine("titan") is get_machine("titan")
+
+    def test_info_dict(self):
+        info = get_machine("thinkie").info()
+        assert info["name"] == "thinkie"
+        assert info["cores"] == 4
+        assert info["backend"] == "sim"
+
+
+class TestPaperHardware:
+    """Hardware facts documented in §5 'Experiment Platform'."""
+
+    @pytest.mark.parametrize(
+        ("name", "cores", "memory_gb"),
+        [
+            ("thinkie", 4, 8),
+            ("stampede", 16, 32),
+            ("archer", 24, 64),
+            ("supermic", 20, 128),
+            ("comet", 24, 128),
+            ("titan", 16, 32),
+        ],
+    )
+    def test_cores_and_memory(self, name, cores, memory_gb):
+        machine = get_machine(name)
+        assert machine.cpu.cores == cores
+        assert machine.memory_bytes == memory_gb << 30
+
+    def test_measured_clocks(self):
+        # E.3 reports sustained ~2.88-2.90 GHz on Comet, ~3.58-3.60 on Supermic.
+        assert 2.88e9 <= get_machine("comet").cpu.frequency <= 2.90e9
+        assert 3.58e9 <= get_machine("supermic").cpu.frequency <= 3.60e9
+
+    def test_fig11_ipc_values(self):
+        comet = get_machine("comet").cpu
+        supermic = get_machine("supermic").cpu
+        assert comet.spec("app.md").ipc == pytest.approx(2.17)
+        assert comet.spec("kernel.c").ipc == pytest.approx(2.80)
+        assert comet.spec("kernel.asm").ipc == pytest.approx(3.30)
+        assert supermic.spec("app.md").ipc == pytest.approx(2.04)
+        assert supermic.spec("kernel.c").ipc == pytest.approx(2.53)
+        assert supermic.spec("kernel.asm").ipc == pytest.approx(2.86)
+
+    def test_fig8_cycle_biases(self):
+        comet = get_machine("comet").cpu
+        supermic = get_machine("supermic").cpu
+        assert comet.spec("kernel.c").cycle_bias == pytest.approx(1.035)
+        assert comet.spec("kernel.asm").cycle_bias == pytest.approx(1.145)
+        assert supermic.spec("kernel.c").cycle_bias == pytest.approx(1.040)
+        assert supermic.spec("kernel.asm").cycle_bias == pytest.approx(1.265)
+
+    def test_lustre_shared_between_titan_and_supermic(self):
+        titan = get_machine("titan").filesystems["lustre"]
+        supermic = get_machine("supermic").filesystems["lustre"]
+        assert titan == supermic
+
+    def test_titan_local_beats_supermic_local(self):
+        titan = get_machine("titan").filesystems["local"]
+        supermic = get_machine("supermic").filesystems["local"]
+        nbytes, bs = 64 << 20, 1 << 20
+        assert titan.write_time(nbytes, bs) < supermic.write_time(nbytes, bs)
+        assert titan.read_time(nbytes, bs) < supermic.read_time(nbytes, bs)
+
+    def test_scaling_paradigm_ordering(self):
+        """Fig 12: OpenMP beats MPI on Titan; the opposite on Supermic."""
+        titan = get_machine("titan")
+        supermic = get_machine("supermic")
+        assert titan.scaling_model("openmp").time_factor(16) < titan.scaling_model(
+            "mpi"
+        ).time_factor(16)
+        assert supermic.scaling_model("mpi").time_factor(20) < supermic.scaling_model(
+            "openmp"
+        ).time_factor(20)
+
+    def test_default_filesystems(self):
+        assert get_machine("supermic").default_fs == "lustre"
+        assert get_machine("comet").default_fs == "nfs"
+        assert get_machine("thinkie").default_fs == "local"
+
+
+class TestMachineSpecAPI:
+    def test_filesystem_default_lookup(self):
+        machine = get_machine("supermic")
+        assert machine.filesystem(None).name == "lustre"
+        assert machine.filesystem("default").name == "lustre"
+        assert machine.filesystem("local").name == "local"
+
+    def test_filesystem_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_machine("thinkie").filesystem("lustre")
+
+    def test_scaling_model_fallback(self):
+        model = get_machine("thinkie").scaling_model("no-such-paradigm")
+        assert model.time_factor(1) == pytest.approx(1.0)

@@ -1,0 +1,123 @@
+"""SimWorkload structure, SimBackend and SimProcess tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import GromacsModel
+from repro.core.errors import WorkloadError
+from repro.sim.backend import SimBackend
+from repro.sim.demands import ComputeDemand, SleepDemand
+from repro.sim.workload import Phase, SimWorkload, Stream
+
+
+class TestWorkloadStructure:
+    def test_builders(self):
+        workload = SimWorkload(name="w")
+        phase = workload.phase("p")
+        stream = phase.stream("s")
+        stream.add(SleepDemand(1.0)).add(SleepDemand(2.0))
+        assert workload.n_demands == 2
+        assert not phase.empty
+        assert not stream.empty
+
+    def test_empty_flags(self):
+        assert Stream().empty
+        assert Phase().empty
+        phase = Phase(streams=[Stream()])
+        assert phase.empty
+
+
+class TestSimBackend:
+    def test_machine_by_name(self):
+        backend = SimBackend("titan")
+        assert backend.machine.name == "titan"
+        assert backend.machine_info()["cores"] == 16
+
+    def test_spawn_workload(self):
+        backend = SimBackend("thinkie", noisy=False)
+        workload = SimWorkload(name="w")
+        workload.phase("p").stream("s").add(SleepDemand(2.0))
+        handle = backend.spawn(workload)
+        assert handle.alive()
+        assert handle.duration == pytest.approx(2.0)
+
+    def test_spawn_app_model(self):
+        backend = SimBackend("thinkie", noisy=False)
+        handle = backend.spawn(GromacsModel(iterations=10_000))
+        assert handle.duration > 0
+
+    def test_spawn_garbage_rejected(self):
+        with pytest.raises(WorkloadError):
+            SimBackend("thinkie").spawn(42)
+
+    def test_clock_advances_on_sleep(self):
+        backend = SimBackend("thinkie")
+        t0 = backend.now()
+        backend.sleep(1.5)
+        assert backend.now() == pytest.approx(t0 + 1.5)
+
+    def test_noise_repeatable_per_spawn_index(self):
+        workload = SimWorkload(name="w")
+        workload.phase("p").stream("s").add(
+            ComputeDemand(instructions=1e9, workload_class="app.md")
+        )
+        a = SimBackend("thinkie", noisy=True, seed=5).spawn(workload).duration
+        b = SimBackend("thinkie", noisy=True, seed=5).spawn(workload).duration
+        c = SimBackend("thinkie", noisy=True, seed=6).spawn(workload).duration
+        assert a == b
+        assert a != c
+
+
+class TestSimProcess:
+    def make_process(self, duration=3.0):
+        backend = SimBackend("thinkie", noisy=False)
+        workload = SimWorkload(name="w")
+        stream = workload.phase("p").stream("s")
+        stream.add(ComputeDemand(instructions=1e9, workload_class="app.md"))
+        stream.add(SleepDemand(duration))
+        return backend, backend.spawn(workload)
+
+    def test_lifecycle(self):
+        backend, handle = self.make_process()
+        assert handle.alive()
+        backend.sleep(handle.duration + 1.0)
+        assert not handle.alive()
+        assert handle.wait() == 0
+
+    def test_wait_advances_clock(self):
+        backend, handle = self.make_process()
+        handle.wait()
+        assert backend.now() == pytest.approx(handle.end_time)
+
+    def test_counters_progress_with_clock(self):
+        backend, handle = self.make_process()
+        early = handle.counters()["cpu.cycles_used"]
+        backend.sleep(handle.duration)
+        late = handle.counters()["cpu.cycles_used"]
+        assert late > early
+
+    def test_counters_clamped_after_exit(self):
+        backend, handle = self.make_process()
+        backend.sleep(handle.duration * 2)
+        at_end = handle.counters()
+        backend.sleep(10.0)
+        assert handle.counters() == at_end
+
+    def test_rusage(self):
+        backend, handle = self.make_process()
+        handle.wait()
+        usage = handle.rusage()
+        assert usage["time.runtime"] == pytest.approx(handle.duration)
+        assert usage["time.utime"] > 0
+
+    def test_pids_unique(self):
+        _, a = self.make_process()
+        _, b = self.make_process()
+        assert a.pid != b.pid
+
+    def test_info(self):
+        _, handle = self.make_process()
+        info = handle.info()
+        assert info["machine"] == "thinkie"
+        assert info["pid"] == handle.pid

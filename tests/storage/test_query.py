@@ -1,0 +1,143 @@
+"""Mongo-style query matcher tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.query import matches
+
+DOC = {
+    "command": "gmx mdrun",
+    "tags": ["tag_step=1000", "run=3"],
+    "machine": {"name": "thinkie", "cores": 4},
+    "sample_rate": 2.0,
+    "truncated": False,
+}
+
+
+class TestEquality:
+    def test_implicit_equality(self):
+        assert matches(DOC, {"command": "gmx mdrun"})
+        assert not matches(DOC, {"command": "other"})
+
+    def test_array_contains(self):
+        assert matches(DOC, {"tags": "run=3"})
+        assert not matches(DOC, {"tags": "run=4"})
+
+    def test_array_exact(self):
+        assert matches(DOC, {"tags": ["tag_step=1000", "run=3"]})
+
+    def test_dotted_path(self):
+        assert matches(DOC, {"machine.name": "thinkie"})
+        assert not matches(DOC, {"machine.name": "titan"})
+
+    def test_missing_equals_none(self):
+        assert matches(DOC, {"nope": None})
+        assert not matches(DOC, {"nope": 1})
+
+    def test_empty_query_matches_all(self):
+        assert matches(DOC, {})
+        assert matches(DOC, None)
+
+
+class TestOperators:
+    def test_comparisons(self):
+        assert matches(DOC, {"sample_rate": {"$gt": 1.0}})
+        assert matches(DOC, {"sample_rate": {"$gte": 2.0}})
+        assert matches(DOC, {"sample_rate": {"$lt": 3.0}})
+        assert not matches(DOC, {"sample_rate": {"$lte": 1.0}})
+        assert matches(DOC, {"sample_rate": {"$ne": 1.0}})
+        assert matches(DOC, {"sample_rate": {"$eq": 2.0}})
+
+    def test_comparison_on_missing_field(self):
+        assert not matches(DOC, {"nope": {"$gt": 0}})
+
+    def test_type_mismatch_is_false(self):
+        assert not matches(DOC, {"command": {"$gt": 5}})
+
+    def test_in_nin(self):
+        assert matches(DOC, {"machine.cores": {"$in": [2, 4, 8]}})
+        assert matches(DOC, {"machine.cores": {"$nin": [1, 3]}})
+        assert not matches(DOC, {"machine.cores": {"$in": [1, 3]}})
+
+    def test_in_against_array_field(self):
+        assert matches(DOC, {"tags": {"$in": ["run=3", "zzz"]}})
+
+    def test_exists(self):
+        assert matches(DOC, {"command": {"$exists": True}})
+        assert matches(DOC, {"nope": {"$exists": False}})
+        assert not matches(DOC, {"nope": {"$exists": True}})
+
+    def test_regex(self):
+        assert matches(DOC, {"command": {"$regex": r"^gmx"}})
+        assert not matches(DOC, {"command": {"$regex": r"^mdrun"}})
+        assert not matches(DOC, {"sample_rate": {"$regex": "2"}})
+
+    def test_all_and_size(self):
+        assert matches(DOC, {"tags": {"$all": ["run=3"]}})
+        assert matches(DOC, {"tags": {"$size": 2}})
+        assert not matches(DOC, {"tags": {"$size": 1}})
+
+    def test_not(self):
+        assert matches(DOC, {"command": {"$not": "other"}})
+        assert not matches(DOC, {"command": {"$not": {"$regex": "gmx"}}})
+
+    def test_combined_operators(self):
+        assert matches(DOC, {"sample_rate": {"$gt": 1.0, "$lt": 3.0}})
+        assert not matches(DOC, {"sample_rate": {"$gt": 1.0, "$lt": 2.0}})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            matches(DOC, {"command": {"$frobnicate": 1}})
+
+
+class TestLogic:
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"command": "gmx mdrun"}, {"sample_rate": 2.0}]})
+        assert not matches(DOC, {"$and": [{"command": "gmx mdrun"}, {"sample_rate": 9}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"command": "zzz"}, {"sample_rate": 2.0}]})
+        assert not matches(DOC, {"$or": [{"command": "zzz"}, {"sample_rate": 9}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"command": "zzz"}, {"sample_rate": 9}]})
+        assert not matches(DOC, {"$nor": [{"command": "gmx mdrun"}]})
+
+    def test_unknown_top_level_operator(self):
+        with pytest.raises(ValueError):
+            matches(DOC, {"$xor": []})
+
+    def test_nested_logic(self):
+        query = {
+            "$or": [
+                {"$and": [{"machine.name": "thinkie"}, {"truncated": False}]},
+                {"command": "zzz"},
+            ]
+        }
+        assert matches(DOC, query)
+
+
+documents = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]),
+    st.one_of(st.integers(-5, 5), st.text(max_size=3), st.booleans()),
+    max_size=3,
+)
+
+
+@given(documents)
+def test_empty_query_always_matches(doc):
+    assert matches(doc, {})
+
+
+@given(documents, st.sampled_from(["a", "b", "c"]))
+def test_self_equality_matches(doc, key):
+    if key in doc:
+        assert matches(doc, {key: doc[key]})
+
+
+@given(documents, st.integers(-5, 5))
+def test_eq_and_ne_are_complements(doc, value):
+    assert matches(doc, {"a": {"$eq": value}}) != matches(doc, {"a": {"$ne": value}})

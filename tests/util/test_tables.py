@@ -1,0 +1,44 @@
+"""ASCII table renderer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        table = Table(["a", "bb"])
+        table.add_row([1, 2.5])
+        text = table.render()
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "1" in lines[2] and "2.5" in lines[2]
+
+    def test_title_first_line(self):
+        table = Table(["x"], title="My Title")
+        assert table.render().splitlines()[0] == "My Title"
+
+    def test_column_alignment(self):
+        table = Table(["name", "v"])
+        table.add_row(["short", 1])
+        table.add_row(["a-much-longer-name", 2])
+        lines = table.render().splitlines()
+        # All data lines have the separator at the same position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_formatting(self):
+        table = Table(["v"])
+        table.add_row([1.23456789])
+        assert "1.235" in table.render()
+
+    def test_str_dunder(self):
+        table = Table(["v"])
+        assert str(table) == table.render()

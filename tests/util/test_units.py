@@ -1,0 +1,137 @@
+"""Unit parsing/formatting tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    format_bytes,
+    format_duration,
+    format_frequency,
+    format_number,
+    parse_bytes,
+    parse_duration,
+    parse_frequency,
+)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("0", 0),
+            ("1", 1),
+            ("4KB", 4096),
+            ("4kb", 4096),
+            ("4 KB", 4096),
+            ("1.5KB", 1536),
+            ("1MB", 1 << 20),
+            ("64MB", 64 << 20),
+            ("2GiB", 2 << 30),
+            ("1TB", 1 << 40),
+            ("123B", 123),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_bytes(4096) == 4096
+
+    def test_float_rounds(self):
+        assert parse_bytes(10.6) == 11
+
+    @pytest.mark.parametrize("bad", ["4XB", "KB", "4K B x", "", "-5B"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-1)
+
+
+class TestParseFrequency:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [("10Hz", 10.0), ("2.7GHz", 2.7e9), ("100MHz", 1e8), ("5kHz", 5e3)],
+    )
+    def test_strings(self, text, expected):
+        assert parse_frequency(text) == pytest.approx(expected)
+
+    def test_number_passthrough(self):
+        assert parse_frequency(2.5e9) == 2.5e9
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            parse_frequency(0)
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            parse_frequency("3 meters")
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("150ms", 0.15),
+            ("2min", 120.0),
+            ("1.5", 1.5),
+            ("3s", 3.0),
+            ("10us", 1e-5),
+            ("1h", 3600.0),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            parse_duration(-1.0)
+
+
+class TestFormatting:
+    def test_format_bytes_scales(self):
+        assert format_bytes(4096) == "4.0KB"
+        assert format_bytes(64 << 20) == "64.0MB"
+        assert format_bytes(10) == "10B"
+        assert format_bytes(3 << 30) == "3.0GB"
+
+    def test_format_bytes_negative(self):
+        assert format_bytes(-2048) == "-2.0KB"
+
+    def test_format_duration_scales(self):
+        assert format_duration(0.0015).endswith("ms")
+        assert format_duration(12.3).endswith("s")
+        assert format_duration(600).endswith("min")
+        assert format_duration(2e-5).endswith("us")
+        assert format_duration(2e-7).endswith("ns")
+
+    def test_format_frequency(self):
+        assert format_frequency(2.7e9) == "2.70GHz"
+        assert format_frequency(10.0) == "10.00Hz"
+
+    def test_format_number(self):
+        assert format_number(0) == "0"
+        assert format_number(3.0) == "3"
+        assert format_number(1.5e12) == "1.5e+12"
+
+
+@given(st.integers(min_value=0, max_value=1 << 50))
+def test_parse_bytes_roundtrip_via_format(n):
+    """format_bytes output re-parses to within formatting precision."""
+    text = format_bytes(n)
+    back = parse_bytes(text)
+    # One decimal digit of the displayed unit is the precision bound.
+    if n >= 1024:
+        assert abs(back - n) / n < 0.06
+    else:
+        assert back == n
+
+
+@given(st.floats(min_value=1e-9, max_value=1e5, allow_nan=False))
+def test_format_duration_never_crashes(seconds):
+    assert isinstance(format_duration(seconds), str)

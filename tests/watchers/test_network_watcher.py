@@ -1,0 +1,60 @@
+"""Experimental network watcher tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import SyntheticApp
+from repro.core.config import SynapseConfig
+from repro.core.profiler import Profiler
+from repro.watchers.registry import get_watcher
+
+from tests.conftest import make_backend
+
+
+class TestNetworkWatcher:
+    def test_registered(self):
+        assert get_watcher("network").name == "network"
+
+    def test_not_in_defaults(self):
+        """Table 1: network profiling is planned — off by default."""
+        assert "network" not in SynapseConfig().watchers
+
+    def test_records_on_sim_plane(self):
+        app = SyntheticApp(net_sent=1 << 20, net_received=512 << 10, chunks=1)
+        config = SynapseConfig(
+            sample_rate=2.0,
+            watchers=("system", "cpu", "rusage", "network"),
+        )
+        profile = Profiler(make_backend(), config=config).run(app, command="net-app")
+        totals = profile.totals()
+        assert totals["net.bytes_written"] == pytest.approx(1 << 20)
+        assert totals["net.bytes_read"] == pytest.approx(512 << 10)
+
+    def test_degrades_on_host_plane(self):
+        from repro.host.backend import HostBackend
+
+        config = SynapseConfig(
+            sample_rate=10.0,
+            watchers=("system", "rusage", "network"),
+        )
+        profile = Profiler(HostBackend(), config=config).run(
+            "sleep 0.2", command="sleep 0.2"
+        )
+        assert "net.bytes_written" not in profile.totals()
+        assert "planned" in profile.info["watcher.network"]["network"]
+
+    def test_emulation_replays_profiled_network(self):
+        """Profiled network traffic drives the network atom (sim)."""
+        from repro.core.api import emulate
+
+        app = SyntheticApp(net_sent=2 << 20, chunks=1)
+        config = SynapseConfig(
+            sample_rate=2.0,
+            watchers=("system", "cpu", "rusage", "network"),
+            atoms=("compute", "memory", "storage", "network"),
+        )
+        profile = Profiler(make_backend(), config=config).run(app, command="net-app")
+        result = emulate(profile, backend=make_backend(), config=config)
+        replayed = result.handle.record.totals()["net.bytes_written"]
+        assert replayed == pytest.approx(2 << 20, rel=0.01)
