@@ -1,6 +1,61 @@
-"""Setup shim: enables legacy editable installs in offline environments
-where the ``wheel`` package is unavailable (metadata lives in pyproject.toml)."""
+"""Packaging for the Synapse reproduction (``pip install -e .``).
 
-from setuptools import setup
+Installs the library as ``synapse-repro`` and exposes the CLI as the
+``repro`` console script (``repro profile``, ``repro emulate``,
+``repro predict``, ``repro place``, ...).
+"""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_ROOT = Path(__file__).resolve().parent
+
+
+def _version() -> str:
+    text = (_ROOT / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"$', text, flags=re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+def _long_description() -> str:
+    paper = _ROOT / "PAPER.md"
+    return paper.read_text(encoding="utf-8") if paper.exists() else ""
+
+
+setup(
+    name="synapse-repro",
+    version=_version(),
+    description=(
+        "Reproduction of 'Synapse: Synthetic Application Profiler and "
+        "Emulator' (IPPS 2016) with a simulation plane and a profile-driven "
+        "prediction & workload-placement subsystem"
+    ),
+    long_description=_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli.main:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Benchmark",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

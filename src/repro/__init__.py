@@ -19,6 +19,27 @@ experiments::
     prof = synapse.profile(GromacsModel(iterations=100_000), backend=backend)
     res  = synapse.emulate(prof, backend=SimBackend("stampede"))
 
+Prediction & placement
+----------------------
+
+The :mod:`repro.predict` subsystem closes the loop the companion paper
+("Synapse: Bridging the Gap Towards Predictable Workload Placement",
+arXiv:1506.00272) motivates: stored profiles become *demand vectors*,
+vectors are costed analytically on any machine model (no emulation run
+needed), and task sets are placed across heterogeneous machine sets::
+
+    prediction = synapse.predict("gmx mdrun", "titan", store=store)
+    plan, report = synapse.place(
+        EnsembleApp(), ["titan", "comet", "supermic"], validate=True
+    )
+
+``predict`` evaluates thousands of (workload, machine) candidate pairs
+per millisecond via ``repro.predict.Predictor.predict_many``; ``place``
+supports greedy earliest-finish-time and min-makespan heuristics plus a
+contention-aware refinement pass, and ``validate=True`` replays the plan
+through the simulation engine to report predicted-vs-emulated error.
+The CLI mirrors both calls as ``repro predict`` and ``repro place``.
+
 See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
@@ -36,12 +57,17 @@ from repro.core import (
     aggregate,
     emulate,
     error_percent,
+    place,
     profile,
     stats,
 )
 from repro.storage import FileStore, MemoryStore, MongoStore, open_store
 
-__version__ = "0.10.0"
+# The callable repro.predict package is both the prediction subsystem
+# namespace and the predict() API entry point (see its module docstring).
+import repro.predict as predict  # noqa: E402,PLC0414 (deliberate rebinding)
+
+__version__ = "0.11.0"
 
 __all__ = [
     "EmulationPlan",
@@ -61,6 +87,8 @@ __all__ = [
     "emulate",
     "error_percent",
     "open_store",
+    "place",
+    "predict",
     "profile",
     "stats",
 ]

@@ -11,7 +11,14 @@ methods" (§4).  Subcommands:
 * ``synapse show <command>``                     — totals + derived metrics;
 * ``synapse stats <command>``                    — multi-profile statistics;
 * ``synapse machines``                           — simulated machine models;
-* ``synapse metrics``                            — Table 1 metric inventory.
+* ``synapse metrics``                            — Table 1 metric inventory;
+* ``synapse predict <command> --machines ...``   — analytical runtime
+  prediction of a stored profile on machines it never ran on;
+* ``synapse place <app> --machines ...``         — workload-placement
+  planning across heterogeneous machine sets (``repro.predict``).
+
+The console script installs as ``repro`` (see ``setup.py``), so the
+paper-facing spellings are ``repro predict`` and ``repro place``.
 """
 
 from __future__ import annotations
@@ -39,9 +46,22 @@ _DEFAULT_STORE = "file://.synapse/profiles"
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
+    from repro import __version__  # noqa: PLC0415 (cycle)
+
     parser = argparse.ArgumentParser(
-        prog="synapse",
+        prog="repro",
         description="Synthetic application profiler and emulator (IPPS'16 reproduction)",
+        epilog=(
+            "prediction & placement: 'repro predict <command> --machines m1 m2' "
+            "predicts a stored profile's runtime on each machine without "
+            "emulating it; 'repro place <app-spec> --machines m1 m2 m3' plans "
+            "task placement across heterogeneous machines (methods: eft, "
+            "makespan) and '--validate' replays the plan on the simulation "
+            "plane to report prediction error."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "--store",
@@ -102,6 +122,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--tags", nargs="*", default=[])
     p_export.add_argument("--format", choices=("csv", "trace"), default="csv")
     p_export.add_argument("--output", required=True, help="output file path")
+
+    p_predict = sub.add_parser(
+        "predict", help="predict a stored profile's runtime on other machines"
+    )
+    p_predict.add_argument("command", help="stored command to predict")
+    p_predict.add_argument("--tags", nargs="*", default=[])
+    p_predict.add_argument(
+        "--machines", nargs="+", default=None,
+        help="target machine models (default: all registered)",
+    )
+    p_predict.add_argument(
+        "--calibrated", action="store_true",
+        help="charge kernel calibration bias (E.3 semantics)",
+    )
+
+    p_place = sub.add_parser(
+        "place", help="plan workload placement across machines"
+    )
+    p_place.add_argument("app", help="app spec, e.g. ensemble:width=8,stages=3")
+    p_place.add_argument(
+        "--machines", nargs="+", required=True, help="candidate machine models"
+    )
+    p_place.add_argument(
+        "--method", choices=("eft", "makespan"), default="eft",
+        help="placement heuristic (default: eft)",
+    )
+    p_place.add_argument(
+        "--no-refine", action="store_true",
+        help="skip the contention-aware refinement pass",
+    )
+    p_place.add_argument(
+        "--validate", action="store_true",
+        help="replay the plan on the sim plane and report prediction error",
+    )
 
     sub.add_parser("machines", help="list simulated machine models")
     sub.add_parser("metrics", help="print the Table 1 metric inventory")
@@ -284,6 +338,65 @@ def _cmd_export(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace, out) -> int:
+    from repro.core.api import predict as api_predict  # noqa: PLC0415 (lazy)
+    from repro.predict.predictor import Predictor  # noqa: PLC0415 (lazy)
+
+    store = open_store(args.store)
+    machines = args.machines if args.machines else list_machines()
+    predictions = api_predict(
+        args.command,
+        machines,
+        tags=args.tags,
+        store=store,
+        predictor=Predictor(calibrated=args.calibrated),
+    )
+    table = Table(
+        ["machine", "compute [s]", "io [s]", "memory [s]", "network [s]", "total [s]"],
+        title=f"predicted runtime of {args.command!r}",
+    )
+    for name in machines:
+        p = predictions[name]
+        table.add_row(
+            [
+                p.machine,
+                p.compute_seconds,
+                p.io_seconds,
+                p.memory_seconds,
+                p.network_seconds,
+                p.seconds,
+            ]
+        )
+    print(table.render(), file=out)
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace, out) -> int:
+    from repro.apps.registry import parse_app  # noqa: PLC0415 (lazy)
+    from repro.core.api import place as api_place  # noqa: PLC0415 (lazy)
+
+    app = parse_app(args.app)
+    result = api_place(
+        app,
+        args.machines,
+        method=args.method,
+        refine=not args.no_refine,
+        validate=args.validate,
+    )
+    plan, report = result if args.validate else (result, None)
+    print(plan.table().render(), file=out)
+    loads = plan.load()
+    print(
+        "per-machine busy time: "
+        + ", ".join(f"{name}={loads[name]:.3f}s" for name in plan.machines),
+        file=out,
+    )
+    print(f"predicted makespan: {format_duration(plan.makespan)}", file=out)
+    if report is not None:
+        print(report.table().render(), file=out)
+    return 0
+
+
 def _cmd_machines(args: argparse.Namespace, out) -> int:
     table = Table(["name", "cores", "clock", "memory", "filesystems", "description"])
     for name in list_machines():
@@ -332,6 +445,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "report": _cmd_report,
     "export": _cmd_export,
+    "predict": _cmd_predict,
+    "place": _cmd_place,
     "machines": _cmd_machines,
     "metrics": _cmd_metrics,
     "kernels": _cmd_kernels,

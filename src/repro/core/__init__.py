@@ -1,6 +1,6 @@
 """Core library: profile/emulate API, data model, profiler, emulator."""
 
-from repro.core.api import emulate, profile, stats
+from repro.core.api import emulate, place, predict, profile, stats
 from repro.core.backend import ExecutionBackend, ProcessHandle
 from repro.core.compare import ComparisonRow, ProfileComparison
 from repro.core.config import SynapseConfig
@@ -62,6 +62,8 @@ __all__ = [
     "derive_metrics",
     "emulate",
     "error_percent",
+    "place",
+    "predict",
     "profile",
     "stats",
 ]

@@ -9,6 +9,11 @@ This reproduction keeps those two calls (plus ``stats``) and generalises
 the target: a shell command string, a Python callable, or — on the
 simulation plane — an application model / workload, with the backend
 selecting the plane.
+
+On top of the paper's pair, :func:`predict` and :func:`place` expose the
+prediction & placement subsystem (:mod:`repro.predict`): analytical
+runtime prediction of stored profiles on machines they never ran on, and
+placement planning of task sets across heterogeneous machine sets.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from repro.core.tags import normalize_command, normalize_tags
 from repro.sim.workload import SimWorkload
 from repro.storage.base import ProfileStore
 
-__all__ = ["profile", "emulate", "stats", "default_backend_for"]
+__all__ = ["profile", "emulate", "stats", "predict", "place", "default_backend_for"]
 
 
 def default_backend_for(target: Any) -> ExecutionBackend:
@@ -110,3 +115,123 @@ def stats(
     """Aggregate statistics over all stored profiles of one command/tags."""
     profiles = store.find(normalize_command(command), normalize_tags(tags))
     return aggregate(profiles)
+
+
+def predict(
+    source: Any,
+    machines: Any,
+    *,
+    tags: object = None,
+    query: Any = None,
+    store: ProfileStore | None = None,
+    predictor: Any = None,
+):
+    """Predict the runtime of a workload on machines it never ran on.
+
+    ``source`` is a demand vector, a :class:`Profile`, a list of
+    profiles (aggregated to their mean demand), or a command string
+    looked up in ``store`` by command/tags/Mongo-``query`` — the
+    placement-paper analogue of ``emulate(command, tags)``.  ``machines``
+    is one machine (name or spec) for a single
+    :class:`~repro.predict.predictor.Prediction`, or a sequence for a
+    ``{machine name: Prediction}`` mapping.
+    """
+    from repro.predict.models import (  # noqa: PLC0415 (lazy)
+        DemandVector,
+        demand_vector,
+        demand_vector_from_profiles,
+        extract,
+    )
+    from repro.predict.predictor import Predictor  # noqa: PLC0415 (lazy)
+
+    if isinstance(source, DemandVector):
+        vector = source
+    elif isinstance(source, Profile):
+        vector = demand_vector(source)
+    elif isinstance(source, (list, tuple)) and source and all(
+        isinstance(item, Profile) for item in source
+    ):
+        vector = demand_vector_from_profiles(source)
+    elif isinstance(source, str):
+        if store is None:
+            raise WorkloadError("predicting a stored command needs a store")
+        vector = extract(store, source, tags, query=query)
+    else:
+        raise WorkloadError(
+            f"cannot predict {type(source).__name__}; expected a DemandVector, "
+            "Profile, list of Profiles, or stored command string"
+        )
+    predictor = predictor if predictor is not None else Predictor()
+    if isinstance(machines, (str,)) or hasattr(machines, "cpu"):
+        return predictor.predict(vector, machines)
+    machines = list(machines)
+    if not machines:
+        raise WorkloadError("cannot predict onto an empty machine set")
+    predictions = [predictor.predict(vector, m) for m in machines]
+    names = [p.machine for p in predictions]
+    if len(set(names)) != len(names):
+        raise WorkloadError(
+            "machine names must be unique to key a prediction mapping; "
+            "rename replace()'d variants before comparing them"
+        )
+    return dict(zip(names, predictions))
+
+
+def place(
+    source: Any,
+    machines: Any,
+    *,
+    method: str = "eft",
+    refine: bool = True,
+    validate: bool = False,
+    predictor: Any = None,
+):
+    """Plan the placement of a task set across heterogeneous machines.
+
+    ``source`` is a list of :class:`~repro.predict.models.Task`, an
+    :class:`~repro.apps.ensemble.EnsembleApp`, or a
+    :class:`~repro.apps.skeleton.SkeletonApp` (decomposed automatically).
+    Returns a :class:`~repro.predict.placement.PlacementPlan`; with
+    ``validate=True`` returns ``(plan, report)`` where the report replays
+    the plan on the simulation plane (E.1/E.2-style accuracy check).
+    """
+    from repro.predict.models import (  # noqa: PLC0415 (lazy)
+        Task,
+        tasks_from_ensemble,
+        tasks_from_skeleton,
+    )
+    from repro.predict.placement import plan as plan_tasks  # noqa: PLC0415 (lazy)
+    from repro.predict.validate import validate_plan  # noqa: PLC0415 (lazy)
+
+    machines = (
+        [machines] if isinstance(machines, str) or hasattr(machines, "cpu")
+        else list(machines)
+    )
+    tasks = source
+    if not isinstance(source, (list, tuple)):
+        from repro.apps.ensemble import EnsembleApp  # noqa: PLC0415 (lazy)
+        from repro.apps.skeleton import SkeletonApp  # noqa: PLC0415 (lazy)
+
+        if isinstance(source, EnsembleApp):
+            tasks = tasks_from_ensemble(source)
+        elif isinstance(source, SkeletonApp):
+            tasks = tasks_from_skeleton(source)
+        else:
+            raise WorkloadError(
+                f"cannot place {type(source).__name__}; expected a task list, "
+                "EnsembleApp or SkeletonApp"
+            )
+    elif not all(isinstance(item, Task) for item in tasks):
+        raise WorkloadError("task lists must contain only predict.Task items")
+    result = plan_tasks(
+        tasks, machines, method=method, refine=refine, predictor=predictor
+    )
+    if not validate:
+        return result
+    report = validate_plan(
+        result,
+        tasks,
+        machines=machines,
+        calibrated=bool(getattr(predictor, "calibrated", False)),
+    )
+    return result, report

@@ -1,0 +1,74 @@
+"""Profile-driven prediction and workload placement.
+
+This subsystem closes the profile → predict → place → validate loop of
+the companion placement paper (Merzky & Jha, arXiv:1506.00272): stored
+profiles are reduced to demand vectors (:mod:`repro.predict.models`),
+vectors are costed analytically on any machine model
+(:mod:`repro.predict.predictor`), task sets are scheduled across
+heterogeneous machine sets (:mod:`repro.predict.placement`), and chosen
+plans are replayed on the simulation plane to measure prediction error
+(:mod:`repro.predict.validate`).
+"""
+
+import sys as _sys
+import types as _types
+
+from repro.predict.models import (
+    DemandVector,
+    Task,
+    demand_vector,
+    demand_vector_from_profiles,
+    extract,
+    tasks_from_ensemble,
+    tasks_from_skeleton,
+)
+from repro.predict.placement import (
+    Assignment,
+    PlacementPlan,
+    levelize,
+    plan,
+    plan_greedy_eft,
+    plan_min_makespan,
+)
+from repro.predict.predictor import Prediction, Predictor
+from repro.predict.validate import LevelReport, ValidationReport, validate_plan
+
+__all__ = [
+    "Assignment",
+    "DemandVector",
+    "LevelReport",
+    "PlacementPlan",
+    "Prediction",
+    "Predictor",
+    "Task",
+    "ValidationReport",
+    "demand_vector",
+    "demand_vector_from_profiles",
+    "extract",
+    "levelize",
+    "plan",
+    "plan_greedy_eft",
+    "plan_min_makespan",
+    "tasks_from_ensemble",
+    "tasks_from_skeleton",
+    "validate_plan",
+]
+
+
+class _PredictModule(_types.ModuleType):
+    """Package module that doubles as the ``predict()`` API call.
+
+    Importing any ``repro.predict`` submodule binds this package over the
+    ``predict`` *function* on the ``repro`` package (Python sets submodule
+    attributes on parents).  Making the package callable keeps
+    ``synapse.predict(source, machines, ...)`` working either way by
+    delegating to :func:`repro.core.api.predict`.
+    """
+
+    def __call__(self, source, machines, **kwargs):
+        from repro.core.api import predict as _api_predict  # noqa: PLC0415 (cycle)
+
+        return _api_predict(source, machines, **kwargs)
+
+
+_sys.modules[__name__].__class__ = _PredictModule

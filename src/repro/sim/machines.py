@@ -32,7 +32,7 @@ from repro.parallel.scaling import ScalingModel
 from repro.sim.filesystem import FilesystemModel
 from repro.sim.resource import CPUModel, MachineSpec, MemoryModel, WorkloadClassSpec
 
-__all__ = ["get_machine", "list_machines", "MACHINES"]
+__all__ = ["get_machine", "list_machines", "resolve_machine", "MACHINES"]
 
 _GB = 1 << 30
 
@@ -340,3 +340,10 @@ def get_machine(name: str) -> MachineSpec:
 def list_machines() -> list[str]:
     """Names of all registered machine models."""
     return sorted(MACHINES)
+
+
+def resolve_machine(machine: MachineSpec | str) -> MachineSpec:
+    """Pass specs through unchanged; look up names in the registry."""
+    if isinstance(machine, str):
+        return get_machine(machine)
+    return machine

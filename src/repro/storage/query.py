@@ -8,7 +8,8 @@ ports over directly:
 * implicit equality: ``{"command": "gmx mdrun"}``
 * comparison: ``$eq $ne $gt $gte $lt $lte``
 * membership: ``$in $nin``
-* arrays: ``$all $size`` and Mongo's "scalar query matches array element"
+* arrays: ``$all $size $elemMatch`` and Mongo's "scalar query matches
+  array element"
 * strings: ``$regex``
 * existence: ``$exists``
 * logic: ``$and $or $nor $not``
@@ -27,19 +28,34 @@ _MISSING = object()
 
 
 def get_path(document: Mapping[str, Any], path: str) -> Any:
-    """Resolve a dotted path inside nested mappings (``_MISSING`` if absent)."""
-    node: Any = document
-    for part in path.split("."):
-        if isinstance(node, Mapping) and part in node:
-            node = node[part]
-        elif isinstance(node, Sequence) and not isinstance(node, (str, bytes)):
-            try:
-                node = node[int(part)]
-            except (ValueError, IndexError):
-                return _MISSING
-        else:
+    """Resolve a dotted path inside nested mappings (``_MISSING`` if absent).
+
+    Nested traversal is tried first; when a segment does not resolve, the
+    longer literal joins are tried, so profile documents' dotted metric
+    keys remain addressable (``"values.cpu.instructions"`` finds both
+    ``{"values": {"cpu": {"instructions": 1}}}`` and the stored-sample
+    shape ``{"values": {"cpu.instructions": 1}}``).
+    """
+    return _walk_path(document, path.split("."))
+
+
+def _walk_path(node: Any, parts: list[str]) -> Any:
+    if not parts:
+        return node
+    if isinstance(node, Mapping):
+        for cut in range(1, len(parts) + 1):
+            key = ".".join(parts[:cut])
+            if key in node:
+                found = _walk_path(node[key], parts[cut:])
+                if found is not _MISSING:
+                    return found
+        return _MISSING
+    if isinstance(node, Sequence) and not isinstance(node, (str, bytes)):
+        try:
+            return _walk_path(node[int(parts[0])], parts[1:])
+        except (ValueError, IndexError):
             return _MISSING
-    return node
+    return _MISSING
 
 
 def _is_operator_doc(value: Any) -> bool:
@@ -107,6 +123,23 @@ def _apply_operators(actual: Any, ops: Mapping[str, Any]) -> bool:
                 return False
             if len(actual) != arg:
                 return False
+        elif op == "$elemMatch":
+            if not isinstance(arg, Mapping) or not arg:
+                raise ValueError("$elemMatch takes a non-empty query document")
+            if not isinstance(actual, Sequence) or isinstance(actual, (str, bytes)):
+                return False
+            if _is_operator_doc(arg):
+                # Operator form: some element satisfies all operators.
+                if not any(_apply_operators(item, arg) for item in actual):
+                    return False
+            else:
+                # Document form: some element is a document matching the
+                # full sub-query (Mongo's array-of-documents case).
+                if not any(
+                    isinstance(item, Mapping) and matches(item, arg)
+                    for item in actual
+                ):
+                    return False
         elif op == "$not":
             inner = arg if _is_operator_doc(arg) else {"$eq": arg}
             if _apply_operators(actual, inner):

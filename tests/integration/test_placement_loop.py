@@ -1,0 +1,122 @@
+"""Integration: the profile → predict → place → validate loop.
+
+This is the E.1/E.2 methodology applied to the prediction subsystem: the
+analytical plan for a synthetic ensemble must agree with a full
+simulation-plane emulation of the same plan within the paper's accuracy
+envelope (the acceptance bound here is 25 % on the makespan, checked
+against a *noisy* replay — the exact replay is lossless by construction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as synapse
+from repro.apps.ensemble import EnsembleApp, EnsembleStage
+from repro.core.config import SynapseConfig
+from repro.core.profiler import Profiler
+from repro.predict import (
+    Predictor,
+    demand_vector,
+    plan_greedy_eft,
+    tasks_from_ensemble,
+    validate_plan,
+)
+from repro.storage.base import MemoryStore
+from tests.conftest import make_backend
+
+HETERO = ("titan", "comet", "supermic")
+
+
+def synthetic_ensemble() -> EnsembleApp:
+    """A ≥8-task ensemble: 8 simulation tasks, an analysis barrier, 8 more."""
+    return EnsembleApp(
+        stages=(
+            EnsembleStage(tasks=8, instructions=4e9, bytes_written=32 << 20),
+            EnsembleStage(tasks=1, instructions=1e9, workload_class="app.generic"),
+            EnsembleStage(tasks=8, instructions=4e9),
+        )
+    )
+
+
+class TestClosedLoop:
+    def test_greedy_plan_within_25_percent_of_emulation(self):
+        tasks = tasks_from_ensemble(synthetic_ensemble())
+        assert len(tasks) >= 8
+        result = plan_greedy_eft(tasks, HETERO)
+        report = validate_plan(result, tasks, noisy=True, seed=11)
+        assert report.error_pct < 25.0
+
+    def test_exact_loop_closes_at_float_precision(self):
+        tasks = tasks_from_ensemble(synthetic_ensemble())
+        result = plan_greedy_eft(tasks, HETERO)
+        report = validate_plan(result, tasks)
+        assert report.error_pct == pytest.approx(0.0, abs=1e-6)
+
+
+class TestPublicAPI:
+    def test_api_place_with_validation(self):
+        result, report = synapse.place(
+            synthetic_ensemble(), list(HETERO), method="makespan", validate=True
+        )
+        assert result.makespan > 0
+        assert report.error_pct < 25.0
+        assert {a.machine for a in result.assignments} <= set(HETERO)
+
+    def test_api_predict_rejects_duplicate_machine_names(self):
+        from dataclasses import replace
+
+        from repro.predict import DemandVector
+        from repro.sim.machines import get_machine
+
+        titan = get_machine("titan")
+        variant = replace(titan, net_bandwidth=titan.net_bandwidth * 10)
+        vector = DemandVector(instructions=1e9)
+        with pytest.raises(synapse.SynapseError):
+            synapse.predict(vector, [titan, variant])
+
+    def test_api_predict_rejects_empty_machine_set(self):
+        from repro.predict import DemandVector
+
+        with pytest.raises(synapse.SynapseError):
+            synapse.predict(DemandVector(instructions=1e9), [])
+
+    def test_api_place_accepts_one_shot_iterables(self):
+        result, report = synapse.place(
+            synthetic_ensemble(), iter(HETERO), validate=True
+        )
+        assert result.makespan > 0
+        assert report.error_pct < 25.0
+
+    def test_api_predict_from_stored_profiles(self):
+        store = MemoryStore()
+        app = synthetic_ensemble()
+        profiler = Profiler(
+            make_backend("thinkie", noisy=True),
+            config=SynapseConfig(sample_rate=2.0),
+            store=store,
+        )
+        for _ in range(2):
+            profiler.run(app, tags=app.tags(), command=app.command())
+        predictions = synapse.predict(app.command(), list(HETERO), store=store)
+        assert set(predictions) == set(HETERO)
+        # The profile-level vector serialises all stages; every machine
+        # must report a positive compute-dominated runtime.
+        for prediction in predictions.values():
+            assert prediction.seconds > 0
+            assert prediction.compute_seconds > prediction.io_seconds
+
+    def test_api_predict_single_machine_profile_consistency(self):
+        store = MemoryStore()
+        app = synthetic_ensemble()
+        profiler = Profiler(
+            make_backend("thinkie", noisy=False),
+            config=SynapseConfig(sample_rate=2.0),
+            store=store,
+        )
+        profile = profiler.run(app, tags=app.tags(), command=app.command())
+        from_store = synapse.predict(app.command(), "titan", store=store)
+        from_profile = synapse.predict(profile, "titan")
+        from_vector = Predictor().predict(demand_vector(profile), "titan")
+        assert from_store.seconds == pytest.approx(from_profile.seconds, rel=1e-9)
+        assert from_profile.seconds == pytest.approx(from_vector.seconds, rel=1e-9)

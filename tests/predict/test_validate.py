@@ -1,0 +1,126 @@
+"""Closed-loop plan validation tests (repro.predict.validate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.predict.models import DemandVector, Task
+from repro.predict.placement import plan_greedy_eft, plan_min_makespan
+from repro.predict.validate import validate_plan
+
+HETERO = ("titan", "comet", "supermic")
+
+
+def mixed_tasks() -> list[Task]:
+    first = [
+        Task(
+            name=f"sim{i}",
+            demand=DemandVector(
+                instructions=4e9,
+                workload_class="app.md",
+                io_write_bytes=16 << 20,
+                io_block_size=256 << 10,
+            ),
+        )
+        for i in range(6)
+    ]
+    gather = Task(
+        name="gather",
+        demand=DemandVector(instructions=1e9, workload_class="app.generic"),
+        depends_on=tuple(t.name for t in first),
+    )
+    return [*first, gather]
+
+
+class TestExactReplay:
+    @pytest.mark.parametrize("planner", [plan_greedy_eft, plan_min_makespan])
+    def test_exact_replay_is_lossless(self, planner):
+        tasks = mixed_tasks()
+        result = planner(tasks, HETERO)
+        report = validate_plan(result, tasks)
+        # Predictor and engine share the cost model, so an exact replay
+        # reproduces the predicted makespan to float precision.
+        assert report.error_pct == pytest.approx(0.0, abs=1e-6)
+        assert report.emulated_makespan == pytest.approx(
+            report.predicted_makespan, rel=1e-9
+        )
+
+    def test_per_level_reports_cover_all_levels(self):
+        tasks = mixed_tasks()
+        result = plan_greedy_eft(tasks, HETERO)
+        report = validate_plan(result, tasks)
+        assert len(report.levels) == result.n_levels
+        assert sum(level.emulated_seconds for level in report.levels) == pytest.approx(
+            report.emulated_makespan, rel=1e-9
+        )
+
+    def test_table_renders(self):
+        tasks = mixed_tasks()
+        report = validate_plan(plan_greedy_eft(tasks, HETERO), tasks)
+        text = report.table().render()
+        assert "makespan error" in text
+        assert "total" in text
+
+
+class TestCalibratedReplay:
+    def test_calibrated_plan_validates_losslessly(self):
+        # Kernel-class vectors predicted with the E.3 calibration bias
+        # must replay at that bias too, keeping the loop closed.
+        from repro.predict.predictor import Predictor
+
+        tasks = [
+            Task(
+                name=f"k{i}",
+                demand=DemandVector(instructions=5e9, workload_class="kernel.asm"),
+            )
+            for i in range(4)
+        ]
+        predictor = Predictor(calibrated=True)
+        result = plan_greedy_eft(tasks, HETERO, predictor=predictor)
+        report = validate_plan(result, tasks, calibrated=True)
+        assert report.error_pct == pytest.approx(0.0, abs=1e-6)
+
+    def test_uncalibrated_replay_of_calibrated_plan_shows_bias(self):
+        from repro.predict.predictor import Predictor
+
+        tasks = [
+            Task(
+                name="k",
+                demand=DemandVector(instructions=5e10, workload_class="kernel.asm"),
+            )
+        ]
+        predictor = Predictor(calibrated=True)
+        result = plan_greedy_eft(tasks, HETERO, predictor=predictor)
+        mismatched = validate_plan(result, tasks, calibrated=False)
+        assert mismatched.error_pct > 1.0
+
+
+class TestNoisyReplay:
+    def test_noisy_replay_stays_close(self):
+        tasks = mixed_tasks()
+        result = plan_greedy_eft(tasks, HETERO)
+        report = validate_plan(result, tasks, noisy=True, seed=3)
+        assert report.noisy
+        assert 0.0 < report.error_pct < 25.0
+
+    def test_seeds_draw_different_noise(self):
+        tasks = mixed_tasks()
+        result = plan_greedy_eft(tasks, HETERO)
+        a = validate_plan(result, tasks, noisy=True, seed=1)
+        b = validate_plan(result, tasks, noisy=True, seed=2)
+        assert a.emulated_makespan != b.emulated_makespan
+
+
+class TestErrors:
+    def test_unknown_task_raises(self):
+        tasks = mixed_tasks()
+        result = plan_greedy_eft(tasks, HETERO)
+        with pytest.raises(WorkloadError):
+            validate_plan(result, tasks[:-2])
+
+    def test_missing_machine_spec_raises(self):
+        tasks = mixed_tasks()
+        result = plan_greedy_eft(tasks, HETERO)
+        with pytest.raises(WorkloadError):
+            validate_plan(result, tasks, machines=["titan"])

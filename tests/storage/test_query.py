@@ -93,6 +93,74 @@ class TestOperators:
             matches(DOC, {"command": {"$frobnicate": 1}})
 
 
+class TestElemMatch:
+    SAMPLES = {
+        "samples": [
+            {"index": 0, "t": 0.0, "values": {"instructions": 1e9}},
+            {"index": 1, "t": 1.0, "values": {"instructions": 4e9}},
+        ],
+        "rates": [0.5, 2.0, 10.0],
+    }
+
+    def test_operator_form_on_scalars(self):
+        assert matches(self.SAMPLES, {"rates": {"$elemMatch": {"$gt": 1.0, "$lt": 5.0}}})
+        assert not matches(self.SAMPLES, {"rates": {"$elemMatch": {"$gt": 20.0}}})
+
+    def test_document_form_on_subdocuments(self):
+        query = {"samples": {"$elemMatch": {"index": 1, "t": {"$gte": 1.0}}}}
+        assert matches(self.SAMPLES, query)
+        assert not matches(
+            self.SAMPLES, {"samples": {"$elemMatch": {"index": 0, "t": {"$gte": 1.0}}}}
+        )
+
+    def test_document_form_with_dotted_path(self):
+        query = {"samples": {"$elemMatch": {"values.instructions": {"$gt": 2e9}}}}
+        assert matches(self.SAMPLES, query)
+        assert not matches(
+            self.SAMPLES,
+            {"samples": {"$elemMatch": {"values.instructions": {"$gt": 5e9}}}},
+        )
+
+    def test_document_form_with_literal_dotted_metric_keys(self):
+        # Stored profiles keep metric names with dots as literal keys
+        # ({"values": {"cpu.instructions": ...}}); paths must reach them.
+        doc = {
+            "samples": [
+                {"values": {"cpu.instructions": 1e9}},
+                {"values": {"cpu.instructions": 4e9}},
+            ]
+        }
+        assert matches(
+            doc, {"samples": {"$elemMatch": {"values.cpu.instructions": {"$gt": 2e9}}}}
+        )
+        assert not matches(
+            doc, {"samples": {"$elemMatch": {"values.cpu.instructions": {"$gt": 5e9}}}}
+        )
+        assert matches(doc, {"samples.1.values.cpu.instructions": 4e9})
+
+    def test_all_elements_failing_is_false(self):
+        assert not matches(self.SAMPLES, {"rates": {"$elemMatch": {"$eq": 3.0}}})
+
+    def test_non_array_field_is_false(self):
+        assert not matches(DOC, {"command": {"$elemMatch": {"$eq": "g"}}})
+        assert not matches(DOC, {"sample_rate": {"$elemMatch": {"$gt": 1.0}}})
+        assert not matches(DOC, {"nope": {"$elemMatch": {"$gt": 1.0}}})
+
+    def test_bad_argument_raises(self):
+        with pytest.raises(ValueError):
+            matches(self.SAMPLES, {"rates": {"$elemMatch": 3.0}})
+        with pytest.raises(ValueError):
+            matches(self.SAMPLES, {"rates": {"$elemMatch": {}}})
+
+    def test_combines_with_other_operators(self):
+        assert matches(
+            self.SAMPLES, {"rates": {"$size": 3, "$elemMatch": {"$lt": 1.0}}}
+        )
+        assert not matches(
+            self.SAMPLES, {"rates": {"$size": 2, "$elemMatch": {"$lt": 1.0}}}
+        )
+
+
 class TestLogic:
     def test_and(self):
         assert matches(DOC, {"$and": [{"command": "gmx mdrun"}, {"sample_rate": 2.0}]})
