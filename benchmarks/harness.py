@@ -8,7 +8,11 @@ over repeated runs).
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -18,6 +22,31 @@ from repro.core.config import SynapseConfig
 from repro.core.emulator import EmulationResult
 from repro.core.samples import Profile
 from repro.sim.backend import SimBackend
+
+#: Machine-readable benchmark results land here (one JSON per benchmark).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_json_result(name: str, payload: dict, out: str | Path | None = None) -> Path:
+    """Write one benchmark's results as machine-readable JSON.
+
+    Every benchmark that wants its numbers diffable across PRs calls
+    this with a stable ``name`` (e.g. ``"BENCH_e7_throughput"``) and a
+    plain-data payload; the file lands at
+    ``benchmarks/results/<name>.json`` (or ``out`` when given) with an
+    environment header, so future runs can be compared mechanically.
+    """
+    doc = {
+        "benchmark": name,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": payload,
+    }
+    path = Path(out) if out is not None else RESULTS_DIR / f"{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+    return path
 
 #: Iteration sweep of E.1/E.2 (Fig 4-7).
 E1_SIZES = (10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000)

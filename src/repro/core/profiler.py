@@ -22,6 +22,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.core.backend import ExecutionBackend, ProcessHandle
 from repro.core.config import SynapseConfig
 from repro.core.errors import ProfilingError
@@ -101,8 +103,12 @@ class Profiler:
         # Drain: one final sample on the full-period boundary (§4.5).
         if config.drain_final_sample:
             now = self.backend.now() - t0
-            for watcher in watchers:
-                self._safe_sample(watcher, now)
+            counters_many = getattr(handle, "counters_many", None)
+            if counters_many is not None and self._batchable(watchers):
+                self._sample_batch(watchers, [now], counters_many(np.asarray([now])))
+            else:
+                for watcher in watchers:
+                    self._safe_sample(watcher, now)
 
         for watcher in watchers:
             watcher.post_process()
@@ -164,12 +170,91 @@ class Profiler:
         t0: float,
     ) -> None:
         """Single-threaded sampling loop (simulation plane)."""
+        if self._drive_grid(watchers, handle, policy, t0):
+            return
         while handle.alive():
             elapsed = self.backend.now() - t0
             self.backend.sleep(policy.interval_at(elapsed))
             now = self.backend.now() - t0
             for watcher in watchers:
                 self._safe_sample(watcher, now)
+
+    def _drive_grid(
+        self,
+        watchers: list[WatcherBase],
+        handle: ProcessHandle,
+        policy: SamplingPolicy,
+        t0: float,
+    ) -> bool:
+        """Sim-plane fast path: sample the whole policy grid in one shot.
+
+        A sim process's history is precomputed, so instead of stepping
+        the virtual clock sample by sample (one full counter snapshot
+        per watcher per step) the sample grid is materialised up front,
+        every counter series is interpolated over it in one vectorised
+        pass (:meth:`SimProcess.counters_many`), and the arrays are
+        handed to the watchers in batch.  The grid replicates the
+        lockstep loop's clock arithmetic exactly, so sample timestamps —
+        and therefore profiles — are identical to the scalar driver's.
+
+        Returns False (caller falls back to lockstep stepping) when the
+        handle cannot batch-evaluate or any watcher has custom
+        per-sample behaviour without a matching batch implementation.
+        """
+        counters_many = getattr(handle, "counters_many", None)
+        end_time = getattr(handle, "end_time", None)
+        clock = getattr(self.backend, "clock", None)
+        if counters_many is None or end_time is None or clock is None:
+            return False
+        if not self._batchable(watchers):
+            return False
+
+        # Replicate the lockstep loop: check liveness, advance by the
+        # policy interval, sample — so the final sample lands on the
+        # first full period at or past process exit (§4.5).
+        times: list[float] = []
+        now = self.backend.now()
+        while now < end_time:
+            elapsed = now - t0
+            now = now + policy.interval_at(elapsed)
+            times.append(now - t0)
+        clock.advance_to(now)
+        if times:
+            self._sample_batch(watchers, times, counters_many(np.asarray(times)))
+        return True
+
+    @staticmethod
+    def _batchable(watchers: list[WatcherBase]) -> bool:
+        """Whether every watcher can be driven through ``sample_batch``.
+
+        A watcher that customises per-sample behaviour without providing
+        a matching batch implementation must keep being driven through
+        its own :meth:`~WatcherBase.sample`.
+        """
+        for watcher in watchers:
+            cls = type(watcher)
+            if (
+                cls.sample is not WatcherBase.sample
+                and cls.sample_batch is WatcherBase.sample_batch
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _sample_batch(
+        watchers: list[WatcherBase],
+        times: list[float],
+        counters: dict[str, Any],
+    ) -> None:
+        """Feed one batch of samples to every watcher, quarantining
+        plugin failures exactly like :meth:`_safe_sample`."""
+        for watcher in watchers:
+            try:
+                watcher.sample_batch(times, counters)
+            except Exception as exc:  # noqa: BLE001 - plugin boundary
+                errors = watcher.result.info.setdefault("sample_errors", [])
+                if len(errors) < 16:
+                    errors.append(f"batch[{len(times)}]: {exc!r}")
 
     def _drive_threaded(
         self,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.errors import WorkloadError
+from repro.core.multiproc import parallel_map
 from repro.core.statistics import error_percent
 from repro.predict.models import Task
 from repro.predict.placement import PlacementPlan
@@ -89,6 +90,23 @@ class ValidationReport:
         return table
 
 
+def _replay_machine(
+    args: tuple[MachineSpec, SimWorkload, bool, int],
+) -> list[tuple[float, float]]:
+    """Engine replay of one machine's placed workload (module-level so
+    parallel validation can pickle it into pool workers)."""
+    machine, workload, noisy, seed = args
+    if noisy:
+        noise = NoiseModel(
+            seed=seed_from(machine.name, "placement", seed),
+            duration_sigma=machine.noise_sigma,
+            counter_sigma=machine.noise_sigma / 3.0,
+        )
+    else:
+        noise = NoiseModel.silent()
+    return Engine(machine, noise).run(workload).phase_bounds
+
+
 def validate_plan(
     plan: PlacementPlan,
     tasks: Sequence[Task],
@@ -96,6 +114,7 @@ def validate_plan(
     noisy: bool = False,
     seed: int = 0,
     calibrated: bool = False,
+    processes: int | None = 1,
 ) -> ValidationReport:
     """Replay ``plan`` through the simulation engine and report accuracy.
 
@@ -106,7 +125,10 @@ def validate_plan(
     (seeded by ``seed``) instead of an exact replay.  ``calibrated``
     must mirror the planner's ``Predictor(calibrated=...)`` setting:
     it replays compute demands as calibrated kernels so the engine
-    charges the same E.3 cycle bias the prediction did.
+    charges the same E.3 cycle bias the prediction did.  ``processes``
+    fans the per-machine engine replays out across worker processes
+    (``None`` = all cores; the default ``1`` replays serially); results
+    are identical either way since every machine's noise seed is fixed.
     """
     by_name = {task.name: task for task in tasks}
     missing = [a.task for a in plan.assignments if a.task not in by_name]
@@ -118,7 +140,7 @@ def validate_plan(
 
     # One virtual process per machine: a phase per barrier level (empty
     # phases keep the level indices aligned), a stream per placed task.
-    emulated_levels = [0.0] * n_levels
+    replays: list[tuple[MachineSpec, SimWorkload, bool, int]] = []
     for machine in specs:
         workload = SimWorkload(
             name=f"placement-replay-{machine.name}",
@@ -134,16 +156,11 @@ def validate_plan(
             )
             for demand in demands:
                 stream.add(demand)
-        if noisy:
-            noise = NoiseModel(
-                seed=seed_from(machine.name, "placement", seed),
-                duration_sigma=machine.noise_sigma,
-                counter_sigma=machine.noise_sigma / 3.0,
-            )
-        else:
-            noise = NoiseModel.silent()
-        record = Engine(machine, noise).run(workload)
-        for index, (start, end) in enumerate(record.phase_bounds):
+        replays.append((machine, workload, noisy, seed))
+
+    emulated_levels = [0.0] * n_levels
+    for phase_bounds in parallel_map(_replay_machine, replays, processes=processes):
+        for index, (start, end) in enumerate(phase_bounds):
             emulated_levels[index] = max(emulated_levels[index], end - start)
 
     levels = [

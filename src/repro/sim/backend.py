@@ -5,22 +5,61 @@ application models that can build one) on a named machine model, under a
 shared virtual clock.  Spawning is eager — the engine computes the whole
 counter history — but the returned handle reveals it only as virtual time
 passes, preserving black-box profiling semantics.
+
+:meth:`SimBackend.spawn_many` is the batch entry point: it executes a
+whole list of targets, optionally fanned out over a process pool
+(:func:`repro.core.multiproc.parallel_map`).  Parallel spawning is
+deterministic — each slot's noise seed derives from its spawn index, so
+the records are identical to sequential :meth:`spawn` calls.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.backend import ExecutionBackend, ProcessHandle
 from repro.core.errors import WorkloadError
 from repro.sim.clock import VirtualClock
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, ExecutionRecord
 from repro.sim.noise import NoiseModel, seed_from
 from repro.sim.process import SimProcess
 from repro.sim.resource import MachineSpec
 from repro.sim.workload import SimWorkload
 
 __all__ = ["SimBackend"]
+
+
+def _noise_for(
+    machine: MachineSpec, workload: SimWorkload, noisy: bool, seed: int, index: int
+) -> NoiseModel:
+    """The deterministic noise model of spawn number ``index``."""
+    if not noisy:
+        return NoiseModel.silent()
+    return NoiseModel(
+        seed=seed_from(machine.name, workload.name, seed, index),
+        duration_sigma=machine.noise_sigma,
+        counter_sigma=machine.noise_sigma / 3.0,
+    )
+
+
+def _run_spawn(item: tuple[int, int]) -> Any:
+    """Worker for parallel :meth:`SimBackend.spawn_many` /
+    :meth:`SimBackend.run_many`.
+
+    The bulky state (machine spec, distinct workloads, reducer) ships
+    once per worker as the :func:`repro.core.multiproc.parallel_map`
+    ``shared`` payload; each item is only ``(spawn index, workload
+    slot)``.  ``reduce`` runs inside the worker, so fan-out callers that
+    only need summaries never ship full histories between processes.
+    """
+    from repro.core.multiproc import get_shared  # noqa: PLC0415 (cycle)
+
+    machine, workloads, noisy, seed, reduce = get_shared()
+    index, slot = item
+    workload = workloads[slot]
+    noise = _noise_for(machine, workload, noisy, seed, index)
+    record = Engine(machine, noise).run(workload)
+    return record if reduce is None else reduce(record)
 
 
 class SimBackend(ExecutionBackend):
@@ -78,16 +117,70 @@ class SimBackend(ExecutionBackend):
         """
         workload = self._resolve(target)
         self._spawn_count += 1
-        if self.noisy:
-            noise = NoiseModel(
-                seed=seed_from(self.machine.name, workload.name, self.seed, self._spawn_count),
-                duration_sigma=self.machine.noise_sigma,
-                counter_sigma=self.machine.noise_sigma / 3.0,
-            )
-        else:
-            noise = NoiseModel.silent()
+        noise = _noise_for(
+            self.machine, workload, self.noisy, self.seed, self._spawn_count
+        )
         record = Engine(self.machine, noise).run(workload)
         return SimProcess(record, self.clock, start_time=self.clock.now())
+
+    def spawn_many(
+        self,
+        targets: Iterable[Any],
+        processes: int | None = 1,
+    ) -> list[SimProcess]:
+        """Run a batch of targets; returns one handle per target.
+
+        All processes start at the current virtual time (they are
+        concurrent from the profiler's point of view).  With
+        ``processes=1`` (default) the engine runs serially in-process;
+        ``processes=None`` fans the engine runs out over all cores, and
+        any other value over that many worker processes
+        (:func:`repro.core.multiproc.parallel_map`).  Records are
+        bit-identical either way: spawn slot *i* always draws its noise
+        from the same per-index seed the sequential :meth:`spawn` path
+        would use.
+        """
+        records = self.run_many(targets, processes=processes)
+        start = self.clock.now()
+        return [
+            SimProcess(record, self.clock, start_time=start) for record in records
+        ]
+
+    def run_many(
+        self,
+        targets: Sequence[Any],
+        processes: int | None = 1,
+        reduce: Callable[[ExecutionRecord], Any] | None = None,
+    ) -> list[Any]:
+        """Batch-execute targets; returns raw engine output per target.
+
+        Without ``reduce`` this yields one :class:`ExecutionRecord` per
+        target.  ``reduce`` — a picklable, module-level callable
+        ``record -> value`` — runs *inside* the worker processes, so
+        parallel experiment fan-out that only needs summaries (totals,
+        durations, phase bounds) never serialises full counter
+        histories across the pool.  Determinism matches
+        :meth:`spawn_many`.
+        """
+        from repro.core.multiproc import parallel_map  # noqa: PLC0415 (cycle)
+
+        workloads = [self._resolve(target) for target in targets]
+        first_index = self._spawn_count + 1
+        self._spawn_count += len(workloads)
+        # Ship each *distinct* workload object once; repeated fan-out of
+        # one workload (seed sweeps, repeats) costs one pickle total.
+        slots: dict[int, int] = {}
+        distinct: list[SimWorkload] = []
+        items: list[tuple[int, int]] = []
+        for offset, workload in enumerate(workloads):
+            slot = slots.get(id(workload))
+            if slot is None:
+                slot = len(distinct)
+                slots[id(workload)] = slot
+                distinct.append(workload)
+            items.append((first_index + offset, slot))
+        shared = (self.machine, distinct, self.noisy, self.seed, reduce)
+        return parallel_map(_run_spawn, items, processes=processes, shared=shared)
 
     def _resolve(self, target: Any) -> SimWorkload:
         if isinstance(target, SimWorkload):

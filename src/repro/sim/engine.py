@@ -24,12 +24,36 @@ carrying ``calibrated_cycles`` (i.e. an emulation kernel told to consume
 a target number of cycles) consumes ``target * cycle_bias`` cycles, where
 the bias is the machine's calibration-vs-sustained IPC ratio for that
 kernel class.
+
+Array-first execution model
+---------------------------
+
+:meth:`Engine.run` is written for throughput: many emulated runs per
+placement decision (closed-loop validation, E.7) make the engine itself
+the hot path.  One cheap Python pass *gathers* the workload — demand
+attributes land in flat per-type arrays, stream boundaries in index
+ranges — and everything afterwards is batched NumPy:
+
+1. per-type cost kernels evaluate every compute/I-O/memory/network
+   demand of the workload at once (the closed-form per-demand formulas
+   of the scalar reference methods :meth:`Engine._cost_compute` & co.);
+2. noise is drawn as *one* RNG batch over a packed slot array holding,
+   per demand, its duration followed by its counter amounts — the slot
+   order and zero-skip rule reproduce the scalar draw stream bit for
+   bit, so seeded runs are identical to the pre-vectorisation engine;
+3. demand start/end times come from per-stream ``cumsum`` over the
+   noisy durations (left-associated, matching scalar accumulation);
+4. counter timelines are built from packed ``(t0, t1, amount)`` arrays
+   per counter name — no per-demand segment objects exist anywhere.
+
+The scalar costing methods are kept as the single-demand reference
+implementation (the analytical predictor mirrors them) and for tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, NamedTuple, Sequence
 
 import numpy as np
 
@@ -44,14 +68,13 @@ from repro.sim.demands import (
 )
 from repro.sim.noise import NoiseModel
 from repro.sim.resource import MachineSpec
-from repro.sim.workload import Phase, SimWorkload, Stream
+from repro.sim.workload import Phase, SimWorkload
 from repro.util.timeseries import TimeSeries
 
 __all__ = ["Engine", "ExecutionRecord", "IOEvent"]
 
 
-@dataclass(frozen=True)
-class IOEvent:
+class IOEvent(NamedTuple):
     """One I/O demand as seen by the experimental blktrace watcher."""
 
     t: float
@@ -59,15 +82,6 @@ class IOEvent:
     nbytes: int
     block_size: int
     filesystem: str
-
-
-@dataclass
-class _Segment:
-    """Internal: one demand's contribution to the counter timelines."""
-
-    t0: float
-    t1: float
-    counters: dict[str, float]
 
 
 @dataclass
@@ -89,12 +103,91 @@ class ExecutionRecord:
         out["time.runtime"] = min(max(t, 0.0), self.duration)
         return out
 
+    def counters_many(self, ts: np.ndarray) -> dict[str, np.ndarray]:
+        """Vectorised :meth:`counters_at`: one array per metric.
+
+        ``ts`` is an array of (relative) sample times; every counter and
+        level series is interpolated over the whole grid in one shot.
+        Entry *i* of each array equals ``counters_at(ts[i])[name]``.
+        """
+        ts = np.asarray(ts, dtype=float)
+        out = {name: s.values_at(ts) for name, s in self.counters.items()}
+        out.update({name: s.values_at(ts) for name, s in self.levels.items()})
+        out["time.runtime"] = np.minimum(np.maximum(ts, 0.0), self.duration)
+        return out
+
     def totals(self) -> dict[str, float]:
         """Final counter values (cumulative) and maxima (levels)."""
         out = {name: ts.last() if len(ts) else 0.0 for name, ts in self.counters.items()}
         out.update({name: ts.max() for name, ts in self.levels.items()})
         out["time.runtime"] = self.duration
         return out
+
+
+#: Demand-type codes used by the gather pass.
+_COMPUTE, _IO, _MEM, _NET, _SLEEP = range(5)
+#: Counter slots per demand type (for noise-slot packing).
+_COUNTER_SLOTS = np.array([5, 2, 2, 2, 0], dtype=np.int64)
+
+
+_EMPTY_POS = np.zeros(0, dtype=np.intp)
+
+
+class _Gather:
+    """Flat array-of-struct view of one workload (one Python pass).
+
+    ``*_pos`` fields hold the global demand index of every demand of one
+    type, in execution order; the companion tuples hold that type's
+    attributes, unzipped from one row tuple per demand.  ``contention``
+    is the per-demand phase slowdown factor (CPU oversubscription for
+    compute, shared-filesystem streams for I/O, 1.0 otherwise).
+    """
+
+    __slots__ = (
+        "n", "kinds", "contention", "streams", "n_phases",
+        "c_pos", "c_instr", "c_cc", "c_ipc", "c_bias", "c_sr", "c_ff",
+        "c_fpi", "c_factor", "c_over", "c_workers",
+        "i_pos", "i_read", "i_written", "i_block", "i_fs",
+        "i_rlat", "i_wlat", "i_rblend", "i_wbw",
+        "m_pos", "m_phase", "m_alloc", "m_free", "m_block",
+        "n_pos", "n_sent", "n_recv", "n_block",
+        "s_pos", "s_secs",
+    )
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.kinds: np.ndarray = _EMPTY_POS
+        self.contention: np.ndarray = np.zeros(0)
+        #: per stream: (phase index, first demand index, end demand index)
+        self.streams: list[tuple[int, int, int]] = []
+        self.n_phases = 0
+        self.c_pos = self.i_pos = self.m_pos = self.n_pos = self.s_pos = _EMPTY_POS
+        self.c_instr: tuple = ()
+        self.c_cc: tuple = ()
+        self.c_ipc: tuple = ()
+        self.c_bias: tuple = ()
+        self.c_sr: tuple = ()
+        self.c_ff: tuple = ()
+        self.c_fpi: tuple = ()
+        self.c_factor: tuple = ()
+        self.c_over: tuple = ()
+        self.c_workers: tuple = ()
+        self.i_read: tuple = ()
+        self.i_written: tuple = ()
+        self.i_block: tuple = ()
+        self.i_fs: tuple = ()
+        self.i_rlat: tuple = ()
+        self.i_wlat: tuple = ()
+        self.i_rblend: tuple = ()
+        self.i_wbw: tuple = ()
+        self.m_phase: tuple = ()
+        self.m_alloc: tuple = ()
+        self.m_free: tuple = ()
+        self.m_block: tuple = ()
+        self.n_sent: tuple = ()
+        self.n_recv: tuple = ()
+        self.n_block: tuple = ()
+        self.s_secs: tuple = ()
 
 
 class Engine:
@@ -104,7 +197,7 @@ class Engine:
         self.machine = machine
         self.noise = noise if noise is not None else NoiseModel.silent()
 
-    # -- demand costing ------------------------------------------------------
+    # -- scalar demand costing (reference implementation) --------------------
 
     def _cost_compute(self, demand: ComputeDemand) -> tuple[float, dict[str, float]]:
         cpu = self.machine.cpu
@@ -202,74 +295,305 @@ class Engine:
         f_io = {fs: max(1.0, float(n)) for fs, n in fs_streams.items()}
         return f_cpu, f_io
 
+    # -- gather pass -------------------------------------------------------------
+
+    def _gather(self, workload: SimWorkload) -> _Gather:
+        """One Python pass: demand attributes into flat per-type arrays.
+
+        Phase contention bookkeeping (the per-phase CPU/filesystem
+        slowdown factors of :meth:`_phase_factors`) is folded into the
+        same pass, so the workload's demand objects are touched exactly
+        once.
+        """
+        cpu = self.machine.cpu
+        cores = cpu.cores
+        g = _Gather()
+        g.n_phases = len(workload.phases)
+        spec_cache: dict[str, tuple[float, float, float, float]] = {}
+        scale_cache: dict[tuple[str, int], tuple[float, float]] = {}
+        fs_cache: dict[str, tuple[float, float, float, float]] = {}
+
+        c_rows: list[tuple] = []
+        i_rows: list[tuple] = []
+        m_rows: list[tuple] = []
+        n_rows: list[tuple] = []
+        s_rows: list[tuple] = []
+        streams = g.streams
+        phase_firsts: list[int] = []
+        phase_f_cpu: list[float] = []
+        phase_f_io: list[dict[str, float]] = []
+
+        index = 0
+        for p_idx, phase in enumerate(workload.phases):
+            phase_firsts.append(index)
+            cpu_workers = 0
+            fs_streams: dict[str, int] = {}
+            for stream in phase.streams:
+                first = index
+                stream_workers = 0
+                stream_fs: set[str] | None = None
+                for demand in stream.demands:
+                    if isinstance(demand, ComputeDemand):
+                        wc = demand.workload_class
+                        spec_row = spec_cache.get(wc)
+                        if spec_row is None:
+                            spec = cpu.spec(wc)
+                            spec_row = (
+                                spec.ipc,
+                                spec.cycle_bias,
+                                spec.stall_ratio,
+                                spec.stall_front_fraction,
+                            )
+                            spec_cache[wc] = spec_row
+                        workers = demand.threads if demand.threads < cores else cores
+                        if workers > 1:
+                            key = (demand.paradigm, workers)
+                            scale_row = scale_cache.get(key)
+                            if scale_row is None:
+                                scaling = self.machine.scaling_model(demand.paradigm)
+                                scale_row = (
+                                    scaling.time_factor(workers),
+                                    scaling.overhead_cycles_fraction(workers),
+                                )
+                                scale_cache[key] = scale_row
+                        else:
+                            scale_row = (1.0, 0.0)
+                        stall = demand.stall_ratio
+                        c_rows.append((
+                            index,
+                            demand.instructions,
+                            np.nan
+                            if demand.calibrated_cycles is None
+                            else demand.calibrated_cycles,
+                            spec_row[0],
+                            spec_row[1],
+                            spec_row[2] if stall is None else stall,
+                            spec_row[3],
+                            demand.flops_per_instruction,
+                            scale_row[0],
+                            scale_row[1],
+                            workers,
+                        ))
+                        if workers > stream_workers:
+                            stream_workers = workers
+                    elif isinstance(demand, IODemand):
+                        fs_name = demand.filesystem
+                        fs_row = fs_cache.get(fs_name)
+                        if fs_row is None:
+                            fs = self.machine.filesystem(fs_name)
+                            hit = fs.cache_hit_fraction
+                            fs_row = (
+                                fs.read_latency,
+                                fs.write_latency,
+                                hit / fs.cache_bandwidth
+                                + (1.0 - hit) / fs.read_bandwidth,
+                                fs.write_bandwidth,
+                            )
+                            fs_cache[fs_name] = fs_row
+                        i_rows.append((
+                            index,
+                            demand.bytes_read,
+                            demand.bytes_written,
+                            demand.block_size,
+                            fs_name,
+                            fs_row[0],
+                            fs_row[1],
+                            fs_row[2],
+                            fs_row[3],
+                        ))
+                        if stream_fs is None:
+                            stream_fs = {fs_name}
+                        else:
+                            stream_fs.add(fs_name)
+                    elif isinstance(demand, MemoryDemand):
+                        m_rows.append((
+                            index,
+                            p_idx,
+                            demand.allocate,
+                            demand.free,
+                            demand.block_size,
+                        ))
+                    elif isinstance(demand, NetworkDemand):
+                        n_rows.append((
+                            index,
+                            demand.bytes_sent,
+                            demand.bytes_received,
+                            demand.block_size,
+                        ))
+                    elif isinstance(demand, SleepDemand):
+                        s_rows.append((index, demand.seconds))
+                    else:
+                        raise WorkloadError(
+                            f"unsupported demand type {type(demand).__name__}"
+                        )
+                    index += 1
+                streams.append((p_idx, first, index))
+                if stream_workers:
+                    cpu_workers += stream_workers
+                if stream_fs:
+                    for fs_name in stream_fs:
+                        fs_streams[fs_name] = fs_streams.get(fs_name, 0) + 1
+            phase_f_cpu.append(max(1.0, cpu_workers / cores))
+            phase_f_io.append(
+                {fs: max(1.0, float(count)) for fs, count in fs_streams.items()}
+            )
+        g.n = index
+
+        if c_rows:
+            (pos, g.c_instr, g.c_cc, g.c_ipc, g.c_bias, g.c_sr, g.c_ff,
+             g.c_fpi, g.c_factor, g.c_over, g.c_workers) = zip(*c_rows)
+            g.c_pos = np.asarray(pos, dtype=np.intp)
+        if i_rows:
+            (pos, g.i_read, g.i_written, g.i_block, g.i_fs,
+             g.i_rlat, g.i_wlat, g.i_rblend, g.i_wbw) = zip(*i_rows)
+            g.i_pos = np.asarray(pos, dtype=np.intp)
+        if m_rows:
+            pos, g.m_phase, g.m_alloc, g.m_free, g.m_block = zip(*m_rows)
+            g.m_pos = np.asarray(pos, dtype=np.intp)
+        if n_rows:
+            pos, g.n_sent, g.n_recv, g.n_block = zip(*n_rows)
+            g.n_pos = np.asarray(pos, dtype=np.intp)
+        if s_rows:
+            pos, g.s_secs = zip(*s_rows)
+            g.s_pos = np.asarray(pos, dtype=np.intp)
+
+        g.kinds = np.zeros(index, dtype=np.int64)
+        g.kinds[g.i_pos] = _IO
+        g.kinds[g.m_pos] = _MEM
+        g.kinds[g.n_pos] = _NET
+        g.kinds[g.s_pos] = _SLEEP
+
+        contention = np.ones(index)
+        if g.c_pos.size:
+            counts = np.diff(np.asarray(phase_firsts + [index]))
+            f_cpu_per_demand = np.repeat(np.asarray(phase_f_cpu), counts)
+            contention[g.c_pos] = f_cpu_per_demand[g.c_pos]
+        if g.i_pos.size:
+            i_phases = np.searchsorted(
+                np.asarray(phase_firsts), g.i_pos, side="right"
+            ) - 1
+            contention[g.i_pos] = [
+                phase_f_io[p][fs] for p, fs in zip(i_phases, g.i_fs)
+            ]
+        g.contention = contention
+        return g
+
+    # -- batched cost kernels ----------------------------------------------------
+
+    def _compute_costs(self, g: _Gather) -> dict[str, np.ndarray]:
+        """Vectorised :meth:`_cost_compute` over all compute demands."""
+        instr_in = np.asarray(g.c_instr)
+        cc = np.asarray(g.c_cc)
+        ipc = np.asarray(g.c_ipc)
+        bias = np.asarray(g.c_bias)
+        with np.errstate(invalid="ignore"):
+            has_cc = ~np.isnan(cc)
+            cycles = np.where(has_cc, cc * bias, instr_in / ipc)
+            instructions = np.where(has_cc, cycles * ipc, instr_in)
+        over = np.asarray(g.c_over)
+        cycles_total = cycles * (1.0 + over)
+        instr_total = instructions * (1.0 + over)
+        duration = (cycles / self.machine.cpu.frequency) * np.asarray(g.c_factor)
+        stalled = cycles_total * np.asarray(g.c_sr)
+        front_fraction = np.asarray(g.c_ff)
+        return {
+            "duration": duration,
+            "cpu.instructions": instr_total,
+            "cpu.cycles_used": cycles_total,
+            "cpu.cycles_stalled_front": stalled * front_fraction,
+            "cpu.cycles_stalled_back": stalled * (1.0 - front_fraction),
+            "cpu.flops": instr_total * np.asarray(g.c_fpi),
+        }
+
+    @staticmethod
+    def _io_costs(g: _Gather) -> dict[str, np.ndarray]:
+        """Vectorised :meth:`_cost_io` over all I/O demands."""
+        nread = np.asarray(g.i_read, dtype=float)
+        nwritten = np.asarray(g.i_written, dtype=float)
+        block = np.asarray(g.i_block, dtype=float)
+        read_ops = np.ceil(nread / block)
+        write_ops = np.ceil(nwritten / block)
+        read_time = np.where(
+            nread > 0, read_ops * np.asarray(g.i_rlat) + nread * np.asarray(g.i_rblend), 0.0
+        )
+        write_time = np.where(
+            nwritten > 0,
+            write_ops * np.asarray(g.i_wlat) + nwritten / np.asarray(g.i_wbw),
+            0.0,
+        )
+        return {
+            "duration": read_time + write_time,
+            "io.bytes_read": nread,
+            "io.bytes_written": nwritten,
+        }
+
+    def _memory_costs(self, g: _Gather) -> dict[str, np.ndarray]:
+        """Vectorised :meth:`_cost_memory` over all memory demands."""
+        mem = self.machine.memory
+        alloc = np.asarray(g.m_alloc, dtype=np.int64)
+        freed = np.asarray(g.m_free, dtype=np.int64)
+        block = np.asarray(g.m_block, dtype=np.int64)
+        alloc_ops = np.maximum(1, -(-alloc // block))
+        free_ops = np.maximum(1, -(-freed // block))
+        alloc_time = np.where(
+            alloc > 0, alloc_ops * mem.alloc_latency + alloc / mem.touch_bandwidth, 0.0
+        )
+        free_time = np.where(freed > 0, free_ops * mem.free_latency, 0.0)
+        return {
+            "duration": alloc_time + free_time,
+            "mem.allocated": alloc.astype(float),
+            "mem.freed": freed.astype(float),
+        }
+
+    def _network_costs(self, g: _Gather) -> dict[str, np.ndarray]:
+        """Vectorised :meth:`_cost_network` over all network demands."""
+        sent = np.asarray(g.n_sent, dtype=np.int64)
+        recv = np.asarray(g.n_recv, dtype=np.int64)
+        block = np.asarray(g.n_block, dtype=np.int64)
+        nbytes = sent + recv
+        ops = -(-nbytes // block)
+        duration = ops * self.machine.net_latency + nbytes / self.machine.net_bandwidth
+        return {
+            "duration": duration,
+            "net.bytes_written": sent.astype(float),
+            "net.bytes_read": recv.astype(float),
+        }
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, workload: SimWorkload) -> ExecutionRecord:
         """Execute a workload; returns its full observable history."""
-        segments: list[_Segment] = []
-        rss_steps: list[tuple[float, float]] = [(0.0, float(workload.base_rss))]
-        thread_deltas: list[tuple[float, float]] = []
-        io_events: list[IOEvent] = []
-        phase_bounds: list[tuple[float, float]] = []
+        g = self._gather(workload)
+        n = g.n
 
-        rss = float(workload.base_rss)
-        t_phase = 0.0
-        for phase in workload.phases:
-            f_cpu, f_io = self._phase_factors(phase)
-            phase_end = t_phase
-            # RSS changes must be applied in global time order across
-            # streams; collect them first.
-            pending_rss: list[tuple[float, float]] = []
-            for stream in phase.streams:
-                t = t_phase
-                for demand in stream.demands:
-                    duration, counters = self._cost(demand)
-                    if isinstance(demand, ComputeDemand):
-                        duration *= f_cpu
-                    elif isinstance(demand, IODemand):
-                        duration *= f_io.get(demand.filesystem, 1.0)
-                    duration = self.noise.duration(duration)
-                    counters = {
-                        name: self.noise.counter(value)
-                        for name, value in counters.items()
-                    }
-                    t0, t1 = t, t + duration
-                    if counters:
-                        segments.append(_Segment(t0, t1, counters))
-                    if isinstance(demand, ComputeDemand) and demand.threads > 1:
-                        workers = min(demand.threads, self.machine.cpu.cores)
-                        thread_deltas.append((t0, float(workers - 1)))
-                        thread_deltas.append((t1, -float(workers - 1)))
-                    if isinstance(demand, MemoryDemand):
-                        pending_rss.append((t1, float(demand.allocate - demand.free)))
-                    if isinstance(demand, IODemand):
-                        if demand.bytes_read:
-                            io_events.append(
-                                IOEvent(t0, "read", demand.bytes_read, demand.block_size, demand.filesystem)
-                            )
-                        if demand.bytes_written:
-                            io_events.append(
-                                IOEvent(t0, "write", demand.bytes_written, demand.block_size, demand.filesystem)
-                            )
-                    t = t1
-                phase_end = max(phase_end, t)
-            for when, delta in sorted(pending_rss):
-                rss = max(0.0, rss + delta)
-                rss_steps.append((when, rss))
-            phase_bounds.append((t_phase, phase_end))
-            t_phase = phase_end
+        costs: dict[int, dict[str, np.ndarray]] = {}
+        base_duration = np.zeros(n)
+        if g.c_pos.size:
+            costs[_COMPUTE] = self._compute_costs(g)
+            base_duration[g.c_pos] = costs[_COMPUTE]["duration"]
+        if g.i_pos.size:
+            costs[_IO] = self._io_costs(g)
+            base_duration[g.i_pos] = costs[_IO]["duration"]
+        if g.m_pos.size:
+            costs[_MEM] = self._memory_costs(g)
+            base_duration[g.m_pos] = costs[_MEM]["duration"]
+        if g.n_pos.size:
+            costs[_NET] = self._network_costs(g)
+            base_duration[g.n_pos] = costs[_NET]["duration"]
+        if g.s_pos.size:
+            base_duration[g.s_pos] = g.s_secs
 
-        duration = t_phase
-        counters = self._build_counters(segments, duration)
-        levels = {
-            "mem.rss": _step_series(rss_steps, duration),
-            "mem.peak": _running_max(_step_series(rss_steps, duration)),
-            "cpu.threads": _thread_series(thread_deltas, duration),
-        }
-        levels["sys.load_cpu"] = TimeSeries(
-            levels["cpu.threads"].times,
-            levels["cpu.threads"].values / self.machine.cpu.cores,
-        )
+        durations = base_duration * g.contention
+        noisy = self._draw_noise(g, durations, costs)
+        durations = noisy.pop("duration")
+
+        t0, t1, phase_bounds = self._timeline(g, durations)
+        duration = phase_bounds[-1][1] if phase_bounds else 0.0
+
+        counters = self._build_counters(self._pack_counters(g, t0, t1, noisy), duration)
+        levels = self._build_levels(workload, g, t0, t1, duration)
+        io_events = self._collect_io_events(g, t0)
+
         metadata = dict(workload.metadata)
         metadata.setdefault("workload_name", workload.name)
         return ExecutionRecord(
@@ -282,29 +606,137 @@ class Engine:
             metadata=metadata,
         )
 
+    def run_many(self, workloads: Iterable[SimWorkload]) -> list[ExecutionRecord]:
+        """Execute several workloads back to back on this engine.
+
+        Runs share the engine's noise model, so the RNG stream continues
+        across workloads exactly as consecutive :meth:`run` calls would —
+        ``run_many(ws)`` is the batch equivalent of ``[run(w) for w in
+        ws]``.  For multi-core fan-out across engines see
+        :func:`repro.core.multiproc.parallel_map` and
+        :meth:`repro.sim.backend.SimBackend.spawn_many`.
+        """
+        return [self.run(workload) for workload in workloads]
+
+    # -- batched noise ----------------------------------------------------------
+
+    def _draw_noise(
+        self,
+        g: _Gather,
+        durations: np.ndarray,
+        costs: dict[int, dict[str, np.ndarray]],
+    ) -> dict[str, np.ndarray]:
+        """Draw all noise for the run in one batched RNG pass.
+
+        The slot layout is, per demand in execution order: its duration,
+        then its counter amounts in the fixed per-type order.  This is
+        exactly the order the scalar engine made its ``duration()`` /
+        ``counter()`` calls in, so seeded runs reproduce the scalar
+        noise stream bit for bit (zero values skip their draw in both).
+        """
+        noise = self.noise
+        if noise.silent_model:
+            out: dict[str, np.ndarray] = {"duration": durations}
+            for kind, group in costs.items():
+                out.update(_named_counters(kind, group))
+            return out
+
+        slots = _COUNTER_SLOTS[g.kinds] + 1
+        offsets = np.concatenate(([0], np.cumsum(slots)))
+        bases = offsets[:-1]
+        total = int(offsets[-1])
+
+        values = np.zeros(total)
+        sigmas = np.full(total, noise.counter_sigma)
+        values[bases] = durations
+        sigmas[bases] = noise.duration_sigma
+        for kind, group in costs.items():
+            pos = _positions(g, kind)
+            group_bases = bases[pos]
+            for slot, (_, amounts) in enumerate(_counter_items(kind, group), start=1):
+                values[group_bases + slot] = amounts
+
+        noisy = noise.apply(values, sigmas)
+
+        out = {"duration": noisy[bases]}
+        for kind, group in costs.items():
+            pos = _positions(g, kind)
+            group_bases = bases[pos]
+            for slot, (name, _) in enumerate(_counter_items(kind, group), start=1):
+                out[name] = noisy[group_bases + slot]
+        return out
+
+    # -- timeline ----------------------------------------------------------------
+
+    @staticmethod
+    def _timeline(
+        g: _Gather, durations: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[float, float]]]:
+        """Per-demand start/end times and phase bounds.
+
+        Demands run serially within a stream (cumulative sum of noisy
+        durations, left-associated like the scalar accumulation), streams
+        start together at the phase start, and phases are barriers.
+        """
+        t0 = np.empty(g.n)
+        t1 = np.empty(g.n)
+        phase_bounds: list[tuple[float, float]] = []
+        t_phase = 0.0
+        stream_iter = iter(g.streams)
+        pending = next(stream_iter, None)
+        for p_idx in range(g.n_phases):
+            phase_end = t_phase
+            while pending is not None and pending[0] == p_idx:
+                _, first, end = pending
+                if end > first:
+                    bounds = np.cumsum(
+                        np.concatenate(([t_phase], durations[first:end]))
+                    )
+                    t0[first:end] = bounds[:-1]
+                    t1[first:end] = bounds[1:]
+                    phase_end = max(phase_end, float(bounds[-1]))
+                pending = next(stream_iter, None)
+            phase_bounds.append((t_phase, phase_end))
+            t_phase = phase_end
+        return t0, t1, phase_bounds
+
+    # -- counter timelines ---------------------------------------------------------
+
+    @staticmethod
+    def _pack_counters(
+        g: _Gather,
+        t0: np.ndarray,
+        t1: np.ndarray,
+        noisy: dict[str, np.ndarray],
+    ) -> dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Packed ``(t0, t1, amount)`` arrays per counter name."""
+        packed: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for kind, names in _KIND_COUNTERS.items():
+            pos = _positions(g, kind)
+            if not pos.size:
+                continue
+            kt0 = t0[pos]
+            kt1 = t1[pos]
+            for name in names:
+                packed[name] = (kt0, kt1, np.asarray(noisy[name]))
+        return packed
+
     @staticmethod
     def _build_counters(
-        segments: list[_Segment], duration: float
+        packed: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]],
+        duration: float,
     ) -> dict[str, TimeSeries]:
-        """Turn accrual segments into piecewise-linear cumulative series."""
-        names: set[str] = set()
-        for seg in segments:
-            names.update(seg.counters)
+        """Turn accrual spans into piecewise-linear cumulative series."""
         out: dict[str, TimeSeries] = {}
-        for name in sorted(names):
-            t0s, t1s, amounts = [], [], []
-            for seg in segments:
-                amount = seg.counters.get(name)
-                if amount:
-                    t0s.append(seg.t0)
-                    t1s.append(max(seg.t1, seg.t0 + 1e-12))
-                    amounts.append(amount)
-            if not t0s:
+        for name in sorted(packed):
+            t0a, t1a, amt = packed[name]
+            mask = amt != 0.0
+            if not mask.any():
                 out[name] = TimeSeries([0.0, duration], [0.0, 0.0])
                 continue
-            t0a = np.asarray(t0s)
-            t1a = np.asarray(t1s)
-            amt = np.asarray(amounts)
+            if not mask.all():
+                t0a, t1a, amt = t0a[mask], t1a[mask], amt[mask]
+            t1a = np.maximum(t1a, t0a + 1e-12)
             rates = amt / (t1a - t0a)
             bps = np.unique(np.concatenate([[0.0, duration], t0a, t1a]))
             delta = np.zeros(bps.size)
@@ -320,8 +752,128 @@ class Engine:
             out[name] = TimeSeries(bps, values)
         return out
 
+    # -- level timelines -----------------------------------------------------------
 
-def _step_series(steps: list[tuple[float, float]], duration: float) -> TimeSeries:
+    def _build_levels(
+        self,
+        workload: SimWorkload,
+        g: _Gather,
+        t0: np.ndarray,
+        t1: np.ndarray,
+        duration: float,
+    ) -> dict[str, TimeSeries]:
+        rss_steps: list[tuple[float, float]] = [(0.0, float(workload.base_rss))]
+        rss = float(workload.base_rss)
+        if g.m_pos.size:
+            # RSS changes apply in global time order *within* each phase
+            # (barriers order the phases themselves).  The running level
+            # clamps at zero, a sequential dependency, so this stays a
+            # (short) scalar loop over memory demands only.
+            whens = t1[g.m_pos].tolist()
+            by_phase: dict[int, list[tuple[float, float]]] = {}
+            for j, p_idx in enumerate(g.m_phase):
+                by_phase.setdefault(p_idx, []).append(
+                    (whens[j], float(g.m_alloc[j] - g.m_free[j]))
+                )
+            for p_idx in sorted(by_phase):
+                for when, delta in sorted(by_phase[p_idx]):
+                    rss = max(0.0, rss + delta)
+                    rss_steps.append((when, rss))
+
+        rss_series = _step_series(rss_steps, duration)
+        levels = {
+            "mem.rss": rss_series,
+            "mem.peak": _running_max(rss_series),
+            "cpu.threads": self._thread_level(g, t0, t1, duration),
+        }
+        levels["sys.load_cpu"] = TimeSeries(
+            levels["cpu.threads"].times,
+            levels["cpu.threads"].values / self.machine.cpu.cores,
+        )
+        return levels
+
+    @staticmethod
+    def _thread_level(
+        g: _Gather, t0: np.ndarray, t1: np.ndarray, duration: float
+    ) -> TimeSeries:
+        """Active-worker level series, fully vectorised.
+
+        Equivalent to feeding every multi-threaded compute demand's
+        ``(start, +workers-1)`` / ``(end, -(workers-1))`` event pair into
+        the scalar :func:`_thread_series` accumulation: events sort by
+        ``(time, delta)``, the running level starts at one worker, and
+        recorded levels clamp at one.
+        """
+        if not g.c_pos.size:
+            return TimeSeries([0.0, duration], [1.0, 1.0])
+        workers = np.asarray(g.c_workers, dtype=float)
+        multi = workers > 1
+        if not multi.any():
+            return TimeSeries([0.0, duration], [1.0, 1.0])
+        extra = workers[multi] - 1.0
+        pos = g.c_pos[multi]
+        whens = np.concatenate([t0[pos], t1[pos]])
+        deltas = np.concatenate([extra, -extra])
+        order = np.lexsort((deltas, whens))
+        whens = whens[order]
+        levels = np.maximum(1.0, 1.0 + np.cumsum(deltas[order]))
+        return _step_series_arrays(
+            np.concatenate(([0.0], whens)),
+            np.concatenate(([1.0], levels)),
+            duration,
+        )
+
+    @staticmethod
+    def _collect_io_events(g: _Gather, t0: np.ndarray) -> list[IOEvent]:
+        events: list[IOEvent] = []
+        if not g.i_pos.size:
+            return events
+        starts = t0[g.i_pos].tolist()
+        for j, t in enumerate(starts):
+            if g.i_read[j]:
+                events.append(
+                    IOEvent(t, "read", g.i_read[j], g.i_block[j], g.i_fs[j])
+                )
+            if g.i_written[j]:
+                events.append(
+                    IOEvent(t, "write", g.i_written[j], g.i_block[j], g.i_fs[j])
+                )
+        return events
+
+
+#: Counter names per demand type, in scalar-dict insertion order (the
+#: noise draw order within one demand).
+_KIND_COUNTERS: dict[int, tuple[str, ...]] = {
+    _COMPUTE: (
+        "cpu.instructions",
+        "cpu.cycles_used",
+        "cpu.cycles_stalled_front",
+        "cpu.cycles_stalled_back",
+        "cpu.flops",
+    ),
+    _IO: ("io.bytes_read", "io.bytes_written"),
+    _MEM: ("mem.allocated", "mem.freed"),
+    _NET: ("net.bytes_written", "net.bytes_read"),
+}
+
+
+def _positions(g: _Gather, kind: int) -> np.ndarray:
+    return (g.c_pos, g.i_pos, g.m_pos, g.n_pos, g.s_pos)[kind]
+
+
+def _counter_items(
+    kind: int, group: dict[str, np.ndarray]
+) -> list[tuple[str, np.ndarray]]:
+    return [(name, group[name]) for name in _KIND_COUNTERS[kind]]
+
+
+def _named_counters(
+    kind: int, group: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    return {name: group[name] for name in _KIND_COUNTERS[kind]}
+
+
+def _step_series(steps: Sequence[tuple[float, float]], duration: float) -> TimeSeries:
     """Build a piecewise-constant series from (time, new_level) steps."""
     steps = sorted(steps)
     times: list[float] = []
@@ -339,7 +891,41 @@ def _step_series(steps: list[tuple[float, float]], duration: float) -> TimeSerie
     return TimeSeries(times, values)
 
 
-def _thread_series(deltas: list[tuple[float, float]], duration: float) -> TimeSeries:
+def _step_series_arrays(
+    times: np.ndarray, values: np.ndarray, duration: float
+) -> TimeSeries:
+    """Vectorised :func:`_step_series` over ``(time, new_level)`` arrays.
+
+    Replicates the scalar loop exactly: steps sort by ``(time, level)``,
+    each positive-time step emits the level just before and just after
+    it, and the series is closed at ``max(duration, last step time)``.
+    """
+    if not times.size:
+        return _step_series([], duration)
+    order = np.lexsort((values, times))
+    times = times[order]
+    values = values[order]
+    keep = times > 0.0
+    kept_t = times[keep]
+    prev = np.empty_like(values)
+    prev[0] = values[0]
+    prev[1:] = values[:-1]
+    k = kept_t.size
+    out_t = np.empty(2 * k + 2)
+    out_v = np.empty(2 * k + 2)
+    out_t[0] = 0.0
+    out_v[0] = values[0]
+    out_t[1:-1:2] = kept_t
+    out_t[2:-1:2] = kept_t
+    out_v[1:-1:2] = prev[keep]
+    out_v[2:-1:2] = values[keep]
+    last_t = kept_t[-1] if k else 0.0
+    out_t[-1] = duration if duration > last_t else last_t
+    out_v[-1] = values[-1]
+    return TimeSeries(out_t, out_v)
+
+
+def _thread_series(deltas: Sequence[tuple[float, float]], duration: float) -> TimeSeries:
     """Active-worker level over time from +/- delta events (base 1)."""
     if not deltas:
         return TimeSeries([0.0, duration], [1.0, 1.0])

@@ -61,6 +61,44 @@ class NoiseModel:
             return value
         return float(value * self._rng.lognormal(0.0, self.counter_sigma))
 
+    # -- batched draws (the engine's vectorised fast path) -----------------
+
+    @property
+    def silent_model(self) -> bool:
+        """True when no value ever receives a draw (both sigmas zero)."""
+        return self.duration_sigma == 0 and self.counter_sigma == 0
+
+    def apply(self, values: np.ndarray, sigmas: np.ndarray) -> np.ndarray:
+        """Noisy versions of ``values``, one lognormal draw per slot.
+
+        This is the batched generalisation of :meth:`duration` /
+        :meth:`counter`: slot *i* is multiplied by
+        ``lognormal(0, sigmas[i])``.  Slots whose value or sigma is zero
+        consume **no** draw — exactly the scalar methods' skip rule — so
+        a batch of mixed duration/counter slots reproduces, bit for bit,
+        the RNG stream of the equivalent sequence of scalar calls.
+        """
+        values = np.asarray(values, dtype=float)
+        sigmas = np.asarray(sigmas, dtype=float)
+        drawn = (values != 0.0) & (sigmas != 0.0)
+        n_draws = int(np.count_nonzero(drawn))
+        if n_draws == 0:
+            return values.copy()
+        z = self._rng.standard_normal(n_draws)
+        out = values.copy()
+        out[drawn] = values[drawn] * np.exp(sigmas[drawn] * z)
+        return out
+
+    def durations(self, values: np.ndarray) -> np.ndarray:
+        """Batched :meth:`duration`: one draw per nonzero entry, in order."""
+        values = np.asarray(values, dtype=float)
+        return self.apply(values, np.full(values.shape, self.duration_sigma))
+
+    def counters(self, values: np.ndarray) -> np.ndarray:
+        """Batched :meth:`counter`: one draw per nonzero entry, in order."""
+        values = np.asarray(values, dtype=float)
+        return self.apply(values, np.full(values.shape, self.counter_sigma))
+
     @classmethod
     def silent(cls) -> "NoiseModel":
         """A noise model that changes nothing (exact, repeatable runs)."""

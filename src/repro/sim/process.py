@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.core.backend import ProcessHandle
 from repro.sim.clock import VirtualClock
 from repro.sim.engine import ExecutionRecord
@@ -49,6 +51,21 @@ class SimProcess(ProcessHandle):
         rel = self.clock.now() - self.start_time
         rel = min(max(rel, 0.0), self.record.duration)
         return self.record.counters_at(rel)
+
+    def counters_many(self, ts: np.ndarray) -> dict[str, np.ndarray]:
+        """Counters at many *relative* sample times, one array per metric.
+
+        This is the profiler's sim-plane fast path: instead of stepping
+        the virtual clock per sample and interpolating every series per
+        step, the whole sampling grid is evaluated in one vectorised
+        pass per series.  Entry ``i`` of each returned array equals what
+        :meth:`counters` would report with the clock at
+        ``start_time + ts[i]``.
+        """
+        rel = np.minimum(
+            np.maximum(np.asarray(ts, dtype=float), 0.0), self.record.duration
+        )
+        return self.record.counters_many(rel)
 
     def rusage(self) -> dict[str, float]:
         totals = self.record.totals()

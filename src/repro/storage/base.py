@@ -32,6 +32,14 @@ class ProfileStore(ABC):
         returns later, which may differ from the argument.
         """
 
+    def put_many(self, profiles) -> list[str]:
+        """Persist a batch of profiles; returns their ids in order.
+
+        The default stores one by one; implementations may batch the
+        shared setup (the file store creates each group directory once).
+        """
+        return [self.put(profile) for profile in profiles]
+
     @abstractmethod
     def _iter_profiles(self):
         """Yield ``(id, Profile)`` pairs for all stored profiles."""

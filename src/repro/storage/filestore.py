@@ -6,10 +6,15 @@ notes file-based storage "poses no limit on the number of samples"
 
 File layout::
 
-    <root>/<key-hash>/<created-ns>-<seq>.json
+    <root>/<key-hash>/<created-ns>-<writer>-<seq>.json
 
 where ``key-hash`` identifies the ``(command, tags)`` group, keeping
 lookups for one application cheap without a separate index file.
+``writer`` is a per-store token (PID plus random suffix): several
+processes — or several stores in one process — writing the same group
+in the same nanosecond produce distinct filenames instead of silently
+clobbering each other (the per-store sequence number alone restarts
+from zero in every new process).
 """
 
 from __future__ import annotations
@@ -17,7 +22,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import secrets
 from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.core.errors import StoreError
 from repro.core.samples import Profile
@@ -38,12 +45,37 @@ class FileStore(ProfileStore):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._seq = 0
+        self._writer = f"{os.getpid():x}{secrets.token_hex(4)}"
 
     def put(self, profile: Profile) -> str:
         group = self.root / _key_hash(profile.command, profile.tags)
         group.mkdir(parents=True, exist_ok=True)
+        return self._write(group, profile)
+
+    def put_many(self, profiles: Sequence[Profile] | Iterable[Profile]) -> list[str]:
+        """Store a batch of profiles; returns their ids in order.
+
+        Group directories are created once per distinct ``(command,
+        tags)`` key instead of once per profile — the batch counterpart
+        of :meth:`put` for experiment fan-out (``spawn_many`` replays,
+        repeated profiling runs).
+        """
+        profiles = list(profiles)
+        groups: dict[str, Path] = {}
+        ids: list[str] = []
+        for profile in profiles:
+            key = _key_hash(profile.command, profile.tags)
+            group = groups.get(key)
+            if group is None:
+                group = self.root / key
+                group.mkdir(parents=True, exist_ok=True)
+                groups[key] = group
+            ids.append(self._write(group, profile))
+        return ids
+
+    def _write(self, group: Path, profile: Profile) -> str:
         self._seq += 1
-        name = f"{int(profile.created * 1e9):020d}-{self._seq:06d}.json"
+        name = f"{int(profile.created * 1e9):020d}-{self._writer}-{self._seq:06d}.json"
         path = group / name
         tmp = path.with_suffix(".tmp")
         try:

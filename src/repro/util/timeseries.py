@@ -6,15 +6,43 @@ profiler stores one per watcher metric; the simulation engine produces one
 per virtual counter.  Operations follow the paper's post-processing needs:
 differencing into per-sample deltas, resampling to the profiler grid, and
 integration of rate-like series.
+
+The container is built for the simulation plane's batched hot paths:
+
+* construction passes NumPy arrays straight through (no ``list()``
+  round-trips), so the engine can hand over freshly computed arrays
+  without copies — the container treats its arrays as frozen and callers
+  must not mutate them afterwards;
+* :meth:`append` grows an internal buffer with amortised capacity
+  doubling instead of reallocating per point (``np.append`` is O(n) per
+  call, O(n²) for a sampling loop);
+* the value range used by :meth:`value_at`/:meth:`values_at` clamping is
+  computed once and cached, so grid sampling does not rescan the series
+  per sample point.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 __all__ = ["TimeSeries"]
+
+
+def _as_floats(data: object) -> np.ndarray:
+    """Coerce arrays / sequences / iterables to a float64 array.
+
+    Arrays pass through without copying (dtype permitting); generators
+    and other one-shot iterables are materialised exactly once.
+    """
+    if isinstance(data, np.ndarray):
+        return data if data.dtype == np.float64 else data.astype(float)
+    if isinstance(data, (list, tuple)):
+        return np.asarray(data, dtype=float)
+    if isinstance(data, Sequence):  # range, array.array, ...
+        return np.asarray(data, dtype=float)
+    return np.fromiter(data, dtype=float)
 
 
 class TimeSeries:
@@ -30,15 +58,42 @@ class TimeSeries:
         (RSS, for instance, can shrink).
     """
 
-    __slots__ = ("times", "values")
+    __slots__ = ("_times", "_values", "_n", "_vmin", "_vmax")
 
-    def __init__(self, times: Iterable[float] = (), values: Iterable[float] = ()) -> None:
-        self.times = np.asarray(list(times), dtype=float)
-        self.values = np.asarray(list(values), dtype=float)
-        if self.times.shape != self.values.shape:
+    def __init__(self, times: object = (), values: object = ()) -> None:
+        t = _as_floats(times)
+        v = _as_floats(values)
+        if t.shape != v.shape:
             raise ValueError("times and values must have the same length")
-        if self.times.size and np.any(np.diff(self.times) < 0):
+        if t.size and np.any(np.diff(t) < 0):
             raise ValueError("timestamps must be non-decreasing")
+        self._times = t
+        self._values = v
+        self._n = int(t.size)
+        self._vmin: float | None = None
+        self._vmax: float | None = None
+
+    # -- storage -----------------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps as an array (a view of the internal buffer)."""
+        t = self._times
+        return t if t.size == self._n else t[: self._n]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Values as an array (a view of the internal buffer)."""
+        v = self._values
+        return v if v.size == self._n else v[: self._n]
+
+    def _value_range(self) -> tuple[float, float]:
+        """Cached ``(min, max)`` of the values (clamp bounds)."""
+        if self._vmin is None:
+            values = self.values
+            self._vmin = float(values.min())
+            self._vmax = float(values.max())
+        return self._vmin, self._vmax  # type: ignore[return-value]
 
     # -- construction ------------------------------------------------------
 
@@ -51,19 +106,50 @@ class TimeSeries:
         return cls(times, values)
 
     def append(self, t: float, value: float) -> None:
-        """Append one point; ``t`` must not precede the last timestamp."""
-        if self.times.size and t < self.times[-1]:
+        """Append one point; ``t`` must not precede the last timestamp.
+
+        Appending amortises to O(1): the internal buffers double in
+        capacity when full, so sampling loops do not pay a reallocation
+        per point.
+        """
+        n = self._n
+        if n and t < self._times[n - 1]:
             raise ValueError("appended timestamp precedes the series end")
-        self.times = np.append(self.times, float(t))
-        self.values = np.append(self.values, float(value))
+        if n >= self._times.size:
+            capacity = max(8, 2 * self._times.size)
+            grown_t = np.empty(capacity)
+            grown_v = np.empty(capacity)
+            grown_t[:n] = self._times[:n]
+            grown_v[:n] = self._values[:n]
+            self._times = grown_t
+            self._values = grown_v
+        self._times[n] = float(t)
+        self._values[n] = float(value)
+        self._n = n + 1
+        if self._vmin is not None:
+            self._vmin = min(self._vmin, float(value))
+            self._vmax = max(self._vmax, float(value))  # type: ignore[arg-type]
+
+    # -- pickling (records cross process boundaries in spawn_many) ---------
+
+    def __getstate__(self) -> tuple[np.ndarray, np.ndarray]:
+        return (np.array(self.times), np.array(self.values))
+
+    def __setstate__(self, state: tuple[np.ndarray, np.ndarray]) -> None:
+        times, values = state
+        self._times = times
+        self._values = values
+        self._n = int(times.size)
+        self._vmin = None
+        self._vmax = None
 
     # -- basic queries -----------------------------------------------------
 
     def __len__(self) -> int:
-        return int(self.times.size)
+        return self._n
 
     def __bool__(self) -> bool:
-        return self.times.size > 0
+        return self._n > 0
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TimeSeries):
@@ -77,9 +163,10 @@ class TimeSeries:
 
     def span(self) -> float:
         """Wall-clock extent covered by the series (0 for <2 points)."""
-        if self.times.size < 2:
+        if self._n < 2:
             return 0.0
-        return float(self.times[-1] - self.times[0])
+        times = self.times
+        return float(times[-1] - times[0])
 
     def first(self) -> float:
         """First value (raises ``IndexError`` when empty)."""
@@ -91,15 +178,16 @@ class TimeSeries:
 
     def total(self) -> float:
         """Net growth of the counter over the series (last - first)."""
-        if self.times.size == 0:
+        if self._n == 0:
             return 0.0
-        return float(self.values[-1] - self.values[0])
+        values = self.values
+        return float(values[-1] - values[0])
 
     def max(self) -> float:
         """Maximum observed value (0.0 when empty)."""
-        if self.values.size == 0:
+        if self._n == 0:
             return 0.0
-        return float(self.values.max())
+        return self._value_range()[1]
 
     # -- transformations ----------------------------------------------------
 
@@ -113,36 +201,43 @@ class TimeSeries:
         true linear interpolation can never leave it, but degenerate
         (near-duplicate) timestamps would otherwise overflow the slope.
         """
-        if self.times.size == 0:
+        if self._n == 0:
             return 0.0
         value = float(np.interp(t, self.times, self.values))
-        return float(min(max(value, self.values.min()), self.values.max()))
+        lo, hi = self._value_range()
+        return float(min(max(value, lo), hi))
 
-    def values_at(self, ts: Iterable[float]) -> np.ndarray:
-        """Vectorised :meth:`value_at`."""
-        if self.times.size == 0:
-            return np.zeros(len(list(ts)))
-        out = np.interp(np.asarray(list(ts), dtype=float), self.times, self.values)
-        return np.clip(out, self.values.min(), self.values.max())
+    def values_at(self, ts: object) -> np.ndarray:
+        """Vectorised :meth:`value_at` over a whole sample grid.
+
+        ``ts`` may be an array (used as-is, no copy), a sequence, or a
+        one-shot iterable (consumed exactly once).
+        """
+        grid = _as_floats(ts)
+        if self._n == 0:
+            return np.zeros(grid.shape)
+        out = np.interp(grid, self.times, self.values)
+        lo, hi = self._value_range()
+        return np.clip(out, lo, hi)
 
     def deltas(self) -> np.ndarray:
         """Per-interval increments between consecutive samples."""
-        if self.values.size < 2:
+        if self._n < 2:
             return np.zeros(0)
         return np.diff(self.values)
 
-    def resample(self, grid: Iterable[float]) -> "TimeSeries":
+    def resample(self, grid: object) -> "TimeSeries":
         """Interpolate the series onto a new timestamp grid."""
-        grid = np.asarray(list(grid), dtype=float)
+        grid = _as_floats(grid)
         return TimeSeries(grid, self.values_at(grid))
 
     def shifted(self, dt: float) -> "TimeSeries":
         """Return a copy with all timestamps shifted by ``dt``."""
-        return TimeSeries(self.times + dt, self.values.copy())
+        return TimeSeries(self.times + dt, np.array(self.values))
 
     def integrate(self) -> float:
         """Trapezoidal integral of the series, for rate-like values."""
-        if self.times.size < 2:
+        if self._n < 2:
             return 0.0
         return float(np.trapezoid(self.values, self.times))
 

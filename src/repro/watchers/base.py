@@ -99,6 +99,29 @@ class WatcherBase:
             if name in counters:
                 points.append((now, counters[name]))
 
+    def sample_batch(self, times: list[float], counters: Mapping[str, Any]) -> None:
+        """Record many samples at once (the sim plane's grid fast path).
+
+        ``times`` is the full sample grid and ``counters`` maps metric
+        names to arrays aligned with it — one snapshot per grid point,
+        exactly what per-point :meth:`sample` calls would have seen.
+        The default implementation mirrors :meth:`sample`: it records
+        every declared metric present in the snapshot and extends the
+        watcher's timestamps.  Plugins that override :meth:`sample` with
+        custom behaviour are *not* driven through this path unless they
+        also override ``sample_batch`` (see the profiler's fast-path
+        eligibility check).
+        """
+        self.result.timestamps.extend(times)
+        for name, points in self._cum.items():
+            series = counters.get(name)
+            if series is not None:
+                points.extend(zip(times, series.tolist()))
+        for name, points in self._lev.items():
+            series = counters.get(name)
+            if series is not None:
+                points.extend(zip(times, series.tolist()))
+
     def post_process(self) -> None:
         """Tear down the profiling environment; build raw series."""
         for name, points in self._cum.items():

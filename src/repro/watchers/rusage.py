@@ -14,6 +14,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.util.timeseries import TimeSeries
 from repro.watchers.base import WatcherBase, WatcherResult
 
 __all__ = ["RusageWatcher"]
@@ -35,8 +36,9 @@ class RusageWatcher(WatcherBase):
             # this corrects the spawn-to-first-sample offset.
             series = result.cumulative.get("time.runtime")
             if series is not None and len(series) > 0:
-                series.values[-1] = runtime
-                series.values[:] = np.minimum(series.values, runtime)
+                values = np.minimum(series.values, runtime)
+                values[-1] = runtime
+                result.cumulative["time.runtime"] = TimeSeries(series.times, values)
             result.statics["time.runtime_rusage"] = runtime
         if usage.get("mem.peak", 0.0) > 0:
             result.statics["mem.peak_rusage"] = usage["mem.peak"]

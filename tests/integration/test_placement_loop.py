@@ -53,6 +53,18 @@ class TestClosedLoop:
         report = validate_plan(result, tasks)
         assert report.error_pct == pytest.approx(0.0, abs=1e-6)
 
+    def test_parallel_replay_identical_to_serial(self):
+        """Fanning the per-machine engine replays across worker
+        processes changes nothing: every machine's seed is fixed."""
+        tasks = tasks_from_ensemble(synthetic_ensemble())
+        result = plan_greedy_eft(tasks, HETERO)
+        serial = validate_plan(result, tasks, noisy=True, seed=11, processes=1)
+        parallel = validate_plan(result, tasks, noisy=True, seed=11, processes=2)
+        assert parallel.emulated_makespan == serial.emulated_makespan
+        assert [level.emulated_seconds for level in parallel.levels] == [
+            level.emulated_seconds for level in serial.levels
+        ]
+
 
 class TestPublicAPI:
     def test_api_place_with_validation(self):

@@ -1,0 +1,101 @@
+"""Generate the golden-equivalence fixtures for the sim-plane fast path.
+
+Run as a script to (re)create ``tests/sim/fixtures/golden_records.json``::
+
+    PYTHONPATH=src python tests/sim/gen_golden_fixtures.py
+
+The committed fixture was produced by the *scalar* engine and lockstep
+profiler (pre vectorisation, PR 2); ``test_golden_equivalence.py`` then
+pins the vectorised implementation to those numbers within 1e-9 relative
+tolerance.  Regenerate only when the execution *model* changes on
+purpose (new cost formula, new noise semantics) — never to paper over an
+accidental behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.apps import EnsembleApp, GromacsModel, SleeperApp, SyntheticApp
+from repro.apps.ensemble import EnsembleStage
+from repro.core.api import profile
+from repro.core.config import SynapseConfig
+from repro.sim.backend import SimBackend
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_records.json"
+
+#: (case name, machine, seed, app factory) — one seeded noisy run each.
+CASES = [
+    ("gromacs-thinkie", "thinkie", 0, lambda: GromacsModel(iterations=200_000)),
+    ("gromacs-comet-threads", "comet", 1,
+     lambda: GromacsModel(iterations=500_000, threads=4, paradigm="openmp")),
+    ("synthetic-mixed", "thinkie", 0, lambda: SyntheticApp(
+        instructions=2e9, bytes_read=96 << 20, bytes_written=64 << 20,
+        memory_bytes=256 << 20, net_sent=8 << 20, net_received=4 << 20,
+        sleep_seconds=0.5, chunks=16)),
+    ("synthetic-overlap", "supermic", 2, lambda: SyntheticApp(
+        instructions=4e9, bytes_written=256 << 20, filesystem="lustre",
+        overlap_io=True, chunks=32)),
+    ("synthetic-heavy", "stampede", 3, lambda: SyntheticApp(
+        instructions=8e9, bytes_read=512 << 20, bytes_written=512 << 20,
+        memory_bytes=1 << 30, net_sent=64 << 20, sleep_seconds=0.25,
+        threads=8, chunks=200)),
+    ("sleeper", "thinkie", 0, lambda: SleeperApp(sleep_seconds=3.0)),
+    ("ensemble", "stampede", 1, lambda: EnsembleApp(stages=(
+        EnsembleStage(tasks=4, instructions=2e9, bytes_written=16 << 20),
+        EnsembleStage(tasks=2, instructions=1e9, workload_class="app.generic"),
+    ))),
+]
+
+#: (case name, machine, seed, sample rate, app factory) — profiled runs.
+PROFILE_CASES = [
+    ("profile-gromacs", "thinkie", 0, 2.0, lambda: GromacsModel(iterations=200_000)),
+    ("profile-synthetic", "comet", 1, 1.0, lambda: SyntheticApp(
+        instructions=4e9, bytes_written=128 << 20, memory_bytes=128 << 20,
+        overlap_io=True, chunks=24)),
+]
+
+
+def record_case(machine: str, seed: int, factory) -> dict:
+    backend = SimBackend(machine, noisy=True, seed=seed)
+    record = backend.spawn(factory()).record
+    return {
+        "duration": record.duration,
+        "totals": record.totals(),
+        "phase_bounds": [list(b) for b in record.phase_bounds],
+        "n_io_events": len(record.io_events),
+    }
+
+
+def profile_case(machine: str, seed: int, rate: float, factory) -> dict:
+    backend = SimBackend(machine, noisy=True, seed=seed)
+    prof = profile(factory(), backend=backend, config=SynapseConfig(sample_rate=rate))
+    return {
+        "tx": prof.tx,
+        "samples": [
+            {"t": s.t, "dt": s.dt, "values": dict(s.values)}
+            for s in prof.samples
+        ],
+    }
+
+
+def main() -> None:
+    out = {
+        "records": {
+            name: record_case(machine, seed, factory)
+            for name, machine, seed, factory in CASES
+        },
+        "profiles": {
+            name: profile_case(machine, seed, rate, factory)
+            for name, machine, seed, rate, factory in PROFILE_CASES
+        },
+    }
+    FIXTURE_PATH.parent.mkdir(exist_ok=True)
+    with open(FIXTURE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(out, handle, indent=1, sort_keys=True)
+    print(f"wrote {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -78,6 +78,56 @@ class TestNoiseModel:
         assert np.std(values) == pytest.approx(0.01, rel=0.35)
 
 
+class TestBatchedDraws:
+    """The vectorised draws must consume the RNG stream bit-for-bit
+    like the equivalent sequence of scalar calls (zero slots skip)."""
+
+    def test_durations_match_scalar_stream(self):
+        import numpy as np
+
+        values = [1.0, 0.0, 2.5, 3.0, 0.0, 4.0]
+        batch = NoiseModel(seed=9).durations(values)
+        scalar = [NoiseModel(seed=9)]  # fresh model, same seed
+        expected = [scalar[0].duration(v) for v in values]
+        np.testing.assert_array_equal(batch, expected)
+
+    def test_counters_match_scalar_stream(self):
+        import numpy as np
+
+        values = [5.0, 0.0, 7.0]
+        batch = NoiseModel(seed=4).counters(values)
+        fresh = NoiseModel(seed=4)
+        np.testing.assert_array_equal(batch, [fresh.counter(v) for v in values])
+
+    def test_apply_interleaves_mixed_sigmas(self):
+        import numpy as np
+
+        batched = NoiseModel(seed=2)
+        scalar = NoiseModel(seed=2)
+        values = np.array([1.0, 10.0, 0.0, 3.0])
+        sigmas = np.array(
+            [batched.duration_sigma, batched.counter_sigma, batched.counter_sigma,
+             batched.duration_sigma]
+        )
+        out = batched.apply(values, sigmas)
+        expected = [
+            scalar.duration(1.0),
+            scalar.counter(10.0),
+            scalar.counter(0.0),
+            scalar.duration(3.0),
+        ]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_silent_model_draws_nothing(self):
+        import numpy as np
+
+        noise = NoiseModel.silent()
+        assert noise.silent_model
+        values = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(noise.durations(values), values)
+        np.testing.assert_array_equal(noise.counters(values), values)
+
+
 class TestSeedFrom:
     def test_stable(self):
         assert seed_from("a", 1) == seed_from("a", 1)

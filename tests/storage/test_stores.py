@@ -111,6 +111,40 @@ class TestFileStore:
         store.put(make_profile(command="b"))
         assert len(list(root.iterdir())) == 2
 
+    def test_concurrent_writers_never_clobber(self, tmp_path):
+        """Two stores (two processes' worth of sequence counters) writing
+        the same group at the same creation timestamp keep both files."""
+        root = tmp_path / "p"
+        first, second = FileStore(root), FileStore(root)
+        profile = make_profile(created=1234.5)
+        ids = {first.put(profile), second.put(profile), first.put(profile)}
+        assert len(ids) == 3
+        assert FileStore(root).count() == 3
+
+    def test_put_many_round_trips(self, tmp_path):
+        store = FileStore(tmp_path / "p")
+        profiles = [
+            make_profile(command="a", created=1.0),
+            make_profile(command="b", created=2.0),
+            make_profile(command="a", created=3.0),
+        ]
+        ids = store.put_many(profiles)
+        assert len(ids) == len(set(ids)) == 3
+        assert store.count() == 3
+        assert len(store.find(command="a")) == 2
+
+    def test_put_many_matches_put_ids(self, tmp_path):
+        store = FileStore(tmp_path / "p")
+        pid = store.put_many([make_profile()])[0]
+        store.delete(pid)  # the returned id resolves like put()'s
+        assert store.count() == 0
+
+    def test_put_many_on_memory_store_default(self):
+        store = MemoryStore()
+        ids = store.put_many([make_profile(command="a"), make_profile(command="b")])
+        assert len(ids) == 2
+        assert store.count() == 2
+
 
 class TestMongoStoreTruncation:
     def test_small_profiles_untouched(self):

@@ -107,6 +107,68 @@ class TestOperations:
         assert TimeSeries.from_points(points).to_points() == points
 
 
+class TestFastPathStorage:
+    """Amortised append, cached clamp range, pass-through construction."""
+
+    def test_append_many_points_amortised_buffer(self):
+        ts = TimeSeries()
+        for i in range(1000):
+            ts.append(float(i), float(i * 2))
+        assert len(ts) == 1000
+        np.testing.assert_array_equal(ts.times, np.arange(1000.0))
+        np.testing.assert_array_equal(ts.values, 2.0 * np.arange(1000.0))
+
+    def test_append_after_construction(self):
+        ts = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        ts.append(2.0, 0.5)
+        assert len(ts) == 3
+        assert ts.last() == 0.5
+
+    def test_cached_range_tracks_appends(self):
+        ts = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        assert ts.max() == 2.0  # populates the cache
+        ts.append(2.0, 5.0)
+        assert ts.max() == 5.0
+        assert ts.value_at(10.0) == 5.0
+        ts.append(3.0, -1.0)
+        assert ts.value_at(-10.0) == 1.0
+        assert ts.values_at([-10.0, 10.0]).min() == -1.0
+
+    def test_values_at_accepts_ndarray_without_copy_semantics(self):
+        ts = TimeSeries([0.0, 2.0], [0.0, 4.0])
+        grid = np.array([0.0, 1.0, 2.0])
+        np.testing.assert_allclose(ts.values_at(grid), [0.0, 2.0, 4.0])
+
+    def test_values_at_accepts_generator_once(self):
+        ts = TimeSeries([0.0, 2.0], [0.0, 4.0])
+        gen = (t for t in (0.0, 1.0, 2.0))
+        np.testing.assert_allclose(ts.values_at(gen), [0.0, 2.0, 4.0])
+
+    def test_values_at_generator_on_empty_series(self):
+        gen = (t for t in (0.0, 1.0, 2.0))
+        np.testing.assert_array_equal(TimeSeries().values_at(gen), np.zeros(3))
+
+    def test_construction_from_arrays(self):
+        times = np.array([0.0, 1.0])
+        values = np.array([1.0, 2.0])
+        ts = TimeSeries(times, values)
+        np.testing.assert_array_equal(ts.times, times)
+        np.testing.assert_array_equal(ts.values, values)
+
+    def test_construction_from_generators(self):
+        ts = TimeSeries((float(i) for i in range(3)), (float(i) for i in range(3)))
+        assert len(ts) == 3
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        ts = TimeSeries([0.0, 1.0, 2.0], [1.0, 4.0, 2.0])
+        ts.append(3.0, 6.0)
+        back = pickle.loads(pickle.dumps(ts))
+        assert back == ts
+        assert back.max() == 6.0
+
+
 @given(monotone_series())
 def test_total_equals_deltas_sum(ts):
     if len(ts) >= 2:
