@@ -13,6 +13,10 @@ exhaustively optimal assignment.  Two measurements:
   enumerate all 3^8 = 6561 assignments with the contended wave model,
   find the true optimum, and compare both heuristics' predicted and
   sim-plane emulated makespans against it.
+
+The ``validate_plan`` replays execute as engine requests through the
+unified run service (:mod:`repro.runtime`), sharing its persistent
+worker pool across all four validations below.
 """
 
 from __future__ import annotations

@@ -12,7 +12,11 @@ hardware allows").  This benchmark measures, on a demand-heavy workload:
 * **profiled runs/sec (lockstep)** — the same run forced through the
   scalar per-sample lockstep driver (the host-plane-equivalent path),
   isolating what grid sampling buys;
-* **batch scaling** — ``spawn_many`` across worker processes vs serial.
+* **batch scaling** — ``spawn_many`` across worker processes vs serial;
+* **pool reuse** — repeated ``run_many`` batches through one persistent
+  :class:`~repro.runtime.RunService` pool vs a fresh pool per batch,
+  isolating the per-batch pool-startup cost the persistent service
+  amortises away.
 
 Results are written as machine-readable JSON
 (``benchmarks/results/BENCH_e7_throughput.json``) so the repo's perf
@@ -37,6 +41,7 @@ import time
 from repro.core.config import SynapseConfig
 from repro.core.profiler import Profiler
 from repro.core.sampling import SamplingPolicy
+from repro.runtime import RunService
 from repro.sim.backend import SimBackend
 from repro.sim.demands import (
     ComputeDemand,
@@ -114,6 +119,63 @@ def _rate(fn, seconds: float, min_rounds: int = 3) -> float:
     return rounds / (time.perf_counter() - start)
 
 
+def measure_pool_reuse(
+    workload: SimWorkload,
+    batches: int = 4,
+    batch_size: int = 8,
+    processes: int = 2,
+) -> dict:
+    """Per-batch cost of repeated ``run_many`` calls, fresh pool vs
+    persistent service pool.
+
+    ``fresh`` closes the service after every batch (the pre-service
+    behaviour: pool startup per ``run_many`` call); ``persistent``
+    reuses one service, so only its first batch pays startup.  Results
+    are bit-identical across both modes — only the wall time differs.
+    """
+
+    def one_batch(service: RunService) -> float:
+        backend = SimBackend(MACHINE, noisy=True, seed=0)
+        start = time.perf_counter()
+        backend.run_many(
+            [workload] * batch_size,
+            processes=processes,
+            reduce=record_totals,
+            service=service,
+        )
+        return time.perf_counter() - start
+
+    fresh = []
+    for _ in range(batches):
+        with RunService(processes=processes) as service:
+            fresh.append(one_batch(service))
+
+    persistent = RunService(processes=processes)
+    try:
+        reused = [one_batch(persistent) for _ in range(batches)]
+        pool_starts = persistent.stats["pool_starts"]
+        fallbacks = persistent.stats["fallbacks"]
+    finally:
+        persistent.close()
+
+    fresh_mean = sum(fresh) / len(fresh)
+    warm = reused[1:] if len(reused) > 1 else reused
+    warm_mean = sum(warm) / len(warm)
+    return {
+        "batches": batches,
+        "batch_size": batch_size,
+        "processes": processes,
+        "fresh_pool_seconds": fresh,
+        "persistent_pool_seconds": reused,
+        "fresh_mean_seconds": fresh_mean,
+        "persistent_warm_mean_seconds": warm_mean,
+        "startup_cost_per_batch_seconds": fresh_mean - warm_mean,
+        "persistent_speedup": fresh_mean / warm_mean if warm_mean else 0.0,
+        "persistent_pool_starts": pool_starts,
+        "pool_fallbacks": fallbacks,
+    }
+
+
 def measure(
     n_demands: int = 1200,
     seconds: float = 2.0,
@@ -156,6 +218,12 @@ def measure(
     parallel_backend.run_many(targets, processes=processes, reduce=record_totals)
     parallel_seconds = time.perf_counter() - t0
 
+    pool_reuse = measure_pool_reuse(
+        workload,
+        batch_size=max(2, batch // 4),
+        processes=min(2, processes),
+    )
+
     return {
         "workload": {
             "machine": MACHINE,
@@ -183,6 +251,7 @@ def measure(
             ),
             "scaling_measurable": cores >= 2,
         },
+        "pool_reuse": pool_reuse,
     }
 
 
@@ -220,6 +289,15 @@ def as_table(results: dict) -> Table:
         batch["n_workloads"] / batch["parallel_seconds"],
         note,
     ])
+    reuse = results["pool_reuse"]
+    table.add_row([
+        f"pool reuse x{reuse['batches']} batches of {reuse['batch_size']}",
+        reuse["batch_size"] / reuse["persistent_warm_mean_seconds"],
+        (
+            f"{reuse['persistent_speedup']:.1f}x vs fresh pool/batch "
+            f"(startup {reuse['startup_cost_per_batch_seconds'] * 1e3:.0f} ms/batch)"
+        ),
+    ])
     return table
 
 
@@ -230,6 +308,13 @@ def test_e7_throughput():
     results = measure(seconds=0.5, batch=8, processes=2)
     assert results["engine_runs_per_sec"] > 0
     assert results["profiled_runs_per_sec"] > 0
+    reuse = results["pool_reuse"]
+    # The persistent service starts its pool exactly once for all
+    # batches — unless this host cannot run a pool at all, in which
+    # case the serial fallback kicked in and pool accounting is moot.
+    if reuse["pool_fallbacks"] == 0:
+        assert reuse["persistent_pool_starts"] == 1
+    assert reuse["persistent_warm_mean_seconds"] > 0
     report("E7: sim-plane throughput", str(as_table(results)))
 
 

@@ -4,6 +4,14 @@ All benchmarks run on the simulation plane with deterministic noise:
 ``repeat`` indices seed independent draws, so means and confidence
 intervals are reproducible run-to-run (the paper's E.3 reports 99 % CIs
 over repeated runs).
+
+Execution goes through the unified run service (:mod:`repro.runtime`):
+the helpers below build declarative :class:`~repro.runtime.RunRequest`s
+and submit them to the process-wide service, so every ``bench_e*``
+script — whether it calls the single-run helpers or batches whole
+sweeps via :func:`submit` — shares one persistent worker pool and the
+deterministic per-request seeding (``seed=repeat``, spawn slot 1 —
+exactly what a fresh per-repeat backend drew before).
 """
 
 from __future__ import annotations
@@ -13,14 +21,15 @@ import platform
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.apps import GromacsModel
-from repro.core.api import emulate, profile
 from repro.core.config import SynapseConfig
 from repro.core.emulator import EmulationResult
 from repro.core.samples import Profile
+from repro.runtime import RunRequest, get_service
 from repro.sim.backend import SimBackend
 
 #: Machine-readable benchmark results land here (one JSON per benchmark).
@@ -62,11 +71,82 @@ def backend(machine: str, repeat: int = 0, noisy: bool = True) -> SimBackend:
     return SimBackend(machine, noisy=noisy, seed=repeat)
 
 
+def submit(requests: Iterable[RunRequest], processes: int | None = None) -> list:
+    """Run a batch of requests through the shared service; returns values.
+
+    The request-level entry point for benchmarks that sweep (sizes x
+    repeats x machines): build all requests up front, submit once, and
+    the service fans them over its persistent pool — or runs serially
+    on one core — with bit-identical results either way.
+    """
+    return [
+        result.value
+        for result in get_service().run(list(requests), processes=processes)
+    ]
+
+
+def _duration(record) -> float:
+    """Worker-side reducer for native runs: only Tx crosses the pool."""
+    return record.duration
+
+
+def app_request(machine: str, iterations: int, repeat: int = 0, threads: int = 1,
+                paradigm: str = "openmp") -> RunRequest:
+    """Native-execution request for one Gromacs run (reduces to Tx)."""
+    return RunRequest(
+        kind="engine",
+        target=GromacsModel(iterations=iterations, threads=threads, paradigm=paradigm),
+        machine=machine,
+        seed=repeat,
+        reduce=_duration,
+    )
+
+
+def profile_request(
+    machine: str,
+    iterations: int,
+    rate: float = 1.0,
+    repeat: int = 0,
+) -> RunRequest:
+    """Profiling request for one Gromacs run."""
+    app = GromacsModel(iterations=iterations)
+    return RunRequest(
+        kind="profile",
+        target=app,
+        machine=machine,
+        config={"sample_rate": rate},
+        seed=repeat,
+        tags=app.tags(),
+        command=app.command(),
+    )
+
+
+def emulate_request(
+    prof: Profile,
+    machine: str,
+    repeat: int = 0,
+    **config_kwargs,
+) -> RunRequest:
+    """Emulation request replaying ``prof`` on ``machine``."""
+    return RunRequest(
+        kind="emulate",
+        target=prof,
+        machine=machine,
+        config=SynapseConfig(**config_kwargs),
+        seed=repeat,
+    )
+
+
 def run_app(machine: str, iterations: int, repeat: int = 0, threads: int = 1,
             paradigm: str = "openmp") -> float:
     """Native application execution; returns Tx."""
-    app = GromacsModel(iterations=iterations, threads=threads, paradigm=paradigm)
-    return backend(machine, repeat).spawn(app).duration
+    [tx] = submit([app_request(machine, iterations, repeat, threads, paradigm)])
+    return tx
+
+
+def run_apps(machine: str, iterations: int, repeats: Sequence[int], **kwargs) -> list[float]:
+    """Native executions across repeat seeds, as one service batch."""
+    return submit([app_request(machine, iterations, r, **kwargs) for r in repeats])
 
 
 def profile_app(
@@ -76,11 +156,18 @@ def profile_app(
     repeat: int = 0,
 ) -> Profile:
     """Profile one Gromacs run."""
-    return profile(
-        GromacsModel(iterations=iterations),
-        backend=backend(machine, repeat),
-        config=SynapseConfig(sample_rate=rate),
-    )
+    [prof] = submit([profile_request(machine, iterations, rate, repeat)])
+    return prof
+
+
+def profile_apps(
+    machine: str,
+    iterations: int,
+    repeats: Sequence[int],
+    rate: float = 1.0,
+) -> list[Profile]:
+    """Profiles across repeat seeds, as one service batch."""
+    return submit([profile_request(machine, iterations, rate, r) for r in repeats])
 
 
 def emulate_profile(
@@ -90,11 +177,8 @@ def emulate_profile(
     **config_kwargs,
 ) -> EmulationResult:
     """Emulate a profile on a (possibly different) machine."""
-    return emulate(
-        prof,
-        backend=backend(machine, repeat),
-        config=SynapseConfig(**config_kwargs),
-    )
+    [result] = submit([emulate_request(prof, machine, repeat, **config_kwargs)])
+    return result
 
 
 @dataclass(frozen=True)

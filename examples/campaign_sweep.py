@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Declarative campaign sweeps with a resumable ledger (repro.runtime).
+
+The paper's experiments are sweeps: the same applications profiled
+across machines, noise seeds and repeats (E.1-E.3).  The campaign layer
+turns such a sweep into data — a JSON-able spec — and executes it
+through the unified run service, recording every cell in a profile
+store.  The store *is* the ledger: re-running the campaign skips every
+cell it already contains, so interrupted sweeps resume exactly where
+they stopped, and a finished campaign is a no-op.
+
+This example walks the loop:
+
+1. declare a (2 apps x 2 machines x 2 seeds) campaign;
+2. run only part of it (``limit=3`` stands in for an interruption);
+3. resume: the second run executes only the missing cells;
+4. verify the ledger is complete and query it like any profile store.
+
+Run:  python examples/campaign_sweep.py
+"""
+
+import repro as synapse
+from repro.runtime import CampaignSpec, ledger, run_campaign
+
+SPEC = {
+    "name": "demo-sweep",
+    "kind": "profile",
+    "apps": ["gromacs:iterations=50000", "sleeper:sleep_seconds=2"],
+    "machines": ["thinkie", "comet"],
+    "seeds": [0, 1],
+    "repeats": 1,
+    "config": {"sample_rate": 2.0},
+    "tags": {"experiment": "example"},
+}
+
+
+def main() -> None:
+    spec = CampaignSpec.from_dict(SPEC)
+    store = synapse.MemoryStore()
+    print(f"campaign {spec.name!r}: {spec.n_cells} cells "
+          f"({len(spec.apps)} apps x {len(spec.machines)} machines x "
+          f"{len(spec.seeds)} seeds x {spec.repeats} repeats)\n")
+
+    # 2. Partial run — as if the sweep was interrupted after 3 cells.
+    partial = run_campaign(spec, store, limit=3)
+    print(partial.table().render())
+    print(f"ledger now holds {len(ledger(store, spec.name))} cells\n")
+
+    # 3. Resume — completed cells are skipped, only the rest execute.
+    resumed = run_campaign(spec, store)
+    print(resumed.table().render())
+    assert resumed.skipped == 3 and resumed.complete
+
+    # 4. The ledger is an ordinary profile store: query it.
+    entries = ledger(store, spec.name)
+    print(f"\nledger complete: {len(entries)} cells")
+    for digest, profile in sorted(entries.items()):
+        machine = profile.machine.get("name", "?")
+        print(f"  cell {digest}  {profile.command!r:32} on {machine:8} "
+              f"Tx={profile.tx:.3f}s")
+
+    # Deterministic per-cell seeds mean a re-run adds nothing.
+    again = run_campaign(spec, store)
+    assert again.executed == 0 and again.skipped == spec.n_cells
+    print("\nre-run executed 0 cells (ledger already complete)")
+
+
+if __name__ == "__main__":
+    main()

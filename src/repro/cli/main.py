@@ -15,10 +15,16 @@ methods" (§4).  Subcommands:
 * ``synapse predict <command> --machines ...``   — analytical runtime
   prediction of a stored profile on machines it never ran on;
 * ``synapse place <app> --machines ...``         — workload-placement
-  planning across heterogeneous machine sets (``repro.predict``).
+  planning across heterogeneous machine sets (``repro.predict``);
+* ``synapse campaign <spec.json>``               — run/resume a
+  declarative sweep through the unified run service
+  (``repro.runtime``), with a resumable on-store ledger.
 
 The console script installs as ``repro`` (see ``setup.py``), so the
-paper-facing spellings are ``repro predict`` and ``repro place``.
+paper-facing spellings are ``repro predict``, ``repro place`` and
+``repro campaign``.  Registry listings (``machines``, ``kernels``,
+``apps``) print in sorted name order regardless of registration order,
+so campaign specs and tests built from them are stable.
 """
 
 from __future__ import annotations
@@ -157,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the plan on the sim plane and report prediction error",
     )
 
+    p_campaign = sub.add_parser(
+        "campaign", help="run or resume a declarative sweep campaign"
+    )
+    p_campaign.add_argument("spec", help="campaign spec JSON file")
+    p_campaign.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes for sim-plane cells (default: service decides)",
+    )
+    p_campaign.add_argument(
+        "--limit", type=int, default=None,
+        help="execute at most N pending cells this invocation (resume later)",
+    )
+    p_campaign.add_argument(
+        "--json", default=None, help="write a machine-readable summary JSON here"
+    )
+
     sub.add_parser("machines", help="list simulated machine models")
     sub.add_parser("metrics", help="print the Table 1 metric inventory")
     sub.add_parser("kernels", help="list available compute kernels")
@@ -267,11 +289,40 @@ def _cmd_apps(args: argparse.Namespace, out) -> int:
     from repro.apps.registry import list_apps, parse_app  # noqa: PLC0415
 
     table = Table(["name", "default command", "default tags"])
-    for name in list_apps():
+    # sorted() even though the registry promises sorted names: listing
+    # order is part of the CLI contract (campaign specs and tests build
+    # on it) and must survive third-party registrations.
+    for name in sorted(list_apps()):
         app = parse_app(name)
         table.add_row([name, app.command(), app.tags() or "-"])
     print(table.render(), file=out)
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace, out) -> int:
+    from repro.runtime.campaign import CampaignSpec, run_campaign  # noqa: PLC0415 (lazy)
+
+    spec = CampaignSpec.from_json(args.spec)
+    store = open_store(args.store)
+    report = run_campaign(
+        spec, store, processes=args.processes, limit=args.limit
+    )
+    print(report.table().render(), file=out)
+    for failure in report.failed:
+        print(
+            f"failed cell {failure['cell']}: {failure['app']} on "
+            f"{failure['machine']}: {failure['error']}",
+            file=out,
+        )
+    if args.json:
+        import json as _json  # noqa: PLC0415 (lazy)
+        from pathlib import Path  # noqa: PLC0415 (lazy)
+
+        Path(args.json).write_text(
+            _json.dumps(report.to_dict(), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return 1 if report.failed else 0
 
 
 def _cmd_list(args: argparse.Namespace, out) -> int:
@@ -399,7 +450,7 @@ def _cmd_place(args: argparse.Namespace, out) -> int:
 
 def _cmd_machines(args: argparse.Namespace, out) -> int:
     table = Table(["name", "cores", "clock", "memory", "filesystems", "description"])
-    for name in list_machines():
+    for name in sorted(list_machines()):
         machine = get_machine(name)
         table.add_row(
             [
@@ -427,7 +478,7 @@ def _cmd_kernels(args: argparse.Namespace, out) -> int:
     from repro.kernels.registry import get_kernel, list_kernels  # noqa: PLC0415
 
     table = Table(["name", "workload class", "description"])
-    for name in list_kernels():
+    for name in sorted(list_kernels()):
         kernel = get_kernel(name)
         table.add_row([name, kernel.workload_class, kernel.description])
     print(table.render(), file=out)
@@ -447,6 +498,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "predict": _cmd_predict,
     "place": _cmd_place,
+    "campaign": _cmd_campaign,
     "machines": _cmd_machines,
     "metrics": _cmd_metrics,
     "kernels": _cmd_kernels,

@@ -14,6 +14,12 @@ On top of the paper's pair, :func:`predict` and :func:`place` expose the
 prediction & placement subsystem (:mod:`repro.predict`): analytical
 runtime prediction of stored profiles on machines they never ran on, and
 placement planning of task sets across heterogeneous machine sets.
+
+All execution funnels through the unified run service
+(:mod:`repro.runtime`): ``profile(repeats=...)``, ``emulate`` and plan
+validation submit run requests to one persistent-pool runtime, and
+:func:`campaign` exposes its declarative sweep layer (apps x machines x
+seeds x repeats with a resumable on-store ledger).
 """
 
 from __future__ import annotations
@@ -32,7 +38,15 @@ from repro.core.tags import normalize_command, normalize_tags
 from repro.sim.workload import SimWorkload
 from repro.storage.base import ProfileStore
 
-__all__ = ["profile", "emulate", "stats", "predict", "place", "default_backend_for"]
+__all__ = [
+    "profile",
+    "emulate",
+    "stats",
+    "predict",
+    "place",
+    "campaign",
+    "default_backend_for",
+]
 
 
 def default_backend_for(target: Any) -> ExecutionBackend:
@@ -175,6 +189,31 @@ def predict(
             "rename replace()'d variants before comparing them"
         )
     return dict(zip(names, predictions))
+
+
+def campaign(
+    spec: Any,
+    *,
+    store: ProfileStore,
+    processes: int | None = None,
+    limit: int | None = None,
+):
+    """Run (or resume) a declarative experiment campaign.
+
+    ``spec`` is a :class:`~repro.runtime.campaign.CampaignSpec`, a
+    spec dict, or a path to a spec JSON file.  The sweep (apps x
+    machines x seeds x repeats) executes through the shared run service
+    and records every cell in ``store``; cells already present are
+    skipped, so interrupted campaigns resume where they stopped.
+    Returns the :class:`~repro.runtime.campaign.CampaignReport`.
+    """
+    import os  # noqa: PLC0415 (lazy)
+
+    from repro.runtime.campaign import CampaignSpec, run_campaign  # noqa: PLC0415 (lazy)
+
+    if isinstance(spec, (str, os.PathLike)):
+        spec = CampaignSpec.from_json(spec)
+    return run_campaign(spec, store, processes=processes, limit=limit)
 
 
 def place(

@@ -18,18 +18,17 @@ TCP/MPI communication between the ranks is NOT captured — the paper's
 explicit limitation — and the combined profile documents the rank count
 in its info for OpenMP/MPI replay configuration.
 
-The module also hosts :func:`parallel_map`, the process-pool fan-out
-primitive behind the simulation plane's batch APIs
-(:meth:`repro.sim.backend.SimBackend.spawn_many`,
-``repro.predict.validate.validate_plan(processes=...)`` and the E7
-throughput benchmark): simulated experiments are pure CPU-bound Python,
-so many independent emulated runs scale with cores only across
-processes.
+The module also hosts the worker-side ``shared`` payload plumbing
+(:func:`get_shared`) used by the run service's pool
+(:class:`repro.runtime.service.RunService` — the fan-out engine behind
+``SimBackend.spawn_many``, ``validate_plan`` and the benchmarks), plus
+:func:`parallel_map`, a one-shot-pool convenience wrapper over it:
+simulated experiments are pure CPU-bound Python, so many independent
+emulated runs scale with cores only across processes.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.core import metrics as _metrics
@@ -37,7 +36,19 @@ from repro.core.errors import SynapseError
 from repro.core.metrics import MetricKind
 from repro.core.samples import Profile, Sample
 
-__all__ = ["combine_process_profiles", "parallel_map"]
+__all__ = ["ParallelFallbackWarning", "combine_process_profiles", "parallel_map"]
+
+
+class ParallelFallbackWarning(RuntimeWarning):
+    """A process pool could not be used; the batch ran serially instead.
+
+    Emitted by :func:`parallel_map` and
+    :class:`repro.runtime.service.RunService` when pool creation or the
+    configured start method fails on constrained hosts (no fork
+    permission, missing semaphores, sandboxed CI runners, ...).  The
+    computation still completes — serially — so callers get correct
+    results plus a signal that parallel speedup was unavailable.
+    """
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -57,83 +68,40 @@ def get_shared() -> Any:
     return _shared_payload
 
 
-class _Guard:
-    """Worker-side wrapper separating ``fn``'s own exceptions from pool
-    infrastructure failures: the former are captured and re-raised in
-    the parent (never triggering the serial fallback), only the latter
-    reach :func:`parallel_map`'s except clause."""
-
-    __slots__ = ("fn",)
-
-    def __init__(self, fn: Callable[[_T], _R]) -> None:
-        self.fn = fn
-
-    def __call__(self, item: _T) -> tuple[bool, Any]:
-        try:
-            return True, self.fn(item)
-        except BaseException as exc:  # noqa: BLE001 - re-raised in the parent
-            return False, exc
-
-
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     processes: int | None = None,
     shared: Any = None,
 ) -> list[_R]:
-    """Order-preserving map over a process pool.
+    """Order-preserving map over a one-shot process pool.
 
     ``processes=None`` uses all cores; ``processes<=1`` (or a single
     item) runs serially in-process, with no pool overhead.  ``fn`` and
     the items should be picklable (module-level function, plain-data
     arguments) and ``fn`` should be pure: when the *pool* cannot be
     used — forbidden fork, unpicklable ``fn``/items, a worker dying —
-    the map falls back to running the whole batch serially,
-    re-evaluating ``fn`` from scratch.  Exceptions raised by ``fn``
-    itself are not swallowed into that fallback: the first one (in item
-    order) re-raises in the parent, exactly like the serial path.
+    the map falls back to running the whole batch serially (with a
+    :class:`ParallelFallbackWarning`), re-evaluating ``fn`` from
+    scratch.  Exceptions raised by ``fn`` itself are not swallowed into
+    that fallback: the first one (in item order) re-raises in the
+    parent, exactly like the serial path.
 
-    ``shared`` ships one bulky payload to each worker *once* (pool
-    initializer) instead of once per item; workers — and the serial
-    path — read it back with :func:`get_shared`.  Use it for payloads
-    that are large relative to the items (a workload object fanned out
-    over many seeds, a machine table, ...).
+    ``shared`` ships one bulky payload per worker chunk instead of once
+    per item; workers — and the serial path — read it back with
+    :func:`get_shared`.  Use it for payloads that are large relative to
+    the items (a workload object fanned out over many seeds, a machine
+    table, ...).
+
+    This is a convenience wrapper over a throwaway
+    :class:`repro.runtime.service.RunService` (one pool per call, torn
+    down afterwards); batch-after-batch callers should hold a service —
+    or use the process-wide default — so the pool is reused.
     """
-    items = list(items)
-    if processes is None:
-        processes = os.cpu_count() or 1
-    processes = min(processes, len(items))
-    if processes <= 1:
-        return _serial_map(fn, items, shared)
-    import concurrent.futures  # noqa: PLC0415 - keep import cost off the serial path
-    import pickle  # noqa: PLC0415
+    from repro.runtime.service import RunService  # noqa: PLC0415 (cycle)
 
-    init = _install_shared if shared is not None else None
-    try:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=processes,
-            initializer=init,
-            initargs=(shared,) if init is not None else (),
-        ) as pool:
-            chunksize = max(1, len(items) // (processes * 4))
-            outcomes = list(pool.map(_Guard(fn), items, chunksize=chunksize))
-    except (
-        OSError,
-        RuntimeError,
-        pickle.PicklingError,
-        AttributeError,
-        TypeError,
-        concurrent.futures.process.BrokenProcessPool,
-    ):
-        # Pool infrastructure failed (fn exceptions never land here —
-        # _Guard captures them inside the workers).
-        return _serial_map(fn, items, shared)
-    results: list[_R] = []
-    for ok, value in outcomes:
-        if not ok:
-            raise value
-        results.append(value)
-    return results
+    with RunService(processes=processes) as service:
+        return service.map(fn, items, shared=shared)
 
 
 def _serial_map(fn: Callable[[_T], _R], items: list[_T], shared: Any) -> list[_R]:

@@ -18,17 +18,17 @@ how far run-to-run variability moves a real execution off the plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 from repro.core.errors import WorkloadError
-from repro.core.multiproc import parallel_map
 from repro.core.statistics import error_percent
 from repro.predict.models import Task
 from repro.predict.placement import PlacementPlan
-from repro.sim.engine import Engine
 from repro.sim.machines import get_machine, resolve_machine
-from repro.sim.noise import NoiseModel, seed_from
+from repro.sim.noise import seed_from
 from repro.sim.resource import MachineSpec
 from repro.sim.workload import SimWorkload
 from repro.util.tables import Table
@@ -59,6 +59,10 @@ class ValidationReport:
     emulated_makespan: float
     levels: list[LevelReport]
     noisy: bool
+    #: Replay execution telemetry: worker counts and wall time of the
+    #: per-machine engine replays (``info["replay"]``), recording the
+    #: measured pool scaling on this host.
+    info: dict[str, Any] = field(default_factory=dict)
 
     @property
     def error_pct(self) -> float:
@@ -90,21 +94,9 @@ class ValidationReport:
         return table
 
 
-def _replay_machine(
-    args: tuple[MachineSpec, SimWorkload, bool, int],
-) -> list[tuple[float, float]]:
-    """Engine replay of one machine's placed workload (module-level so
-    parallel validation can pickle it into pool workers)."""
-    machine, workload, noisy, seed = args
-    if noisy:
-        noise = NoiseModel(
-            seed=seed_from(machine.name, "placement", seed),
-            duration_sigma=machine.noise_sigma,
-            counter_sigma=machine.noise_sigma / 3.0,
-        )
-    else:
-        noise = NoiseModel.silent()
-    return Engine(machine, noise).run(workload).phase_bounds
+def _phase_bounds(record: Any) -> list[tuple[float, float]]:
+    """Worker-side reducer: replays only ship their level spans home."""
+    return record.phase_bounds
 
 
 def validate_plan(
@@ -114,7 +106,8 @@ def validate_plan(
     noisy: bool = False,
     seed: int = 0,
     calibrated: bool = False,
-    processes: int | None = 1,
+    processes: int | None = None,
+    service: Any = None,
 ) -> ValidationReport:
     """Replay ``plan`` through the simulation engine and report accuracy.
 
@@ -125,10 +118,15 @@ def validate_plan(
     (seeded by ``seed``) instead of an exact replay.  ``calibrated``
     must mirror the planner's ``Predictor(calibrated=...)`` setting:
     it replays compute demands as calibrated kernels so the engine
-    charges the same E.3 cycle bias the prediction did.  ``processes``
-    fans the per-machine engine replays out across worker processes
-    (``None`` = all cores; the default ``1`` replays serially); results
-    are identical either way since every machine's noise seed is fixed.
+    charges the same E.3 cycle bias the prediction did.
+
+    The per-machine replays are submitted as engine requests to the run
+    service (:mod:`repro.runtime`; ``service`` overrides the shared
+    default), which fans them over its persistent worker pool —
+    ``processes=None`` (the default) lets the service use all cores, a
+    value of 1 replays serially.  Results are identical either way
+    since every machine's noise seed is fixed; the measured scaling is
+    recorded in ``report.info["replay"]``.
     """
     by_name = {task.name: task for task in tasks}
     missing = [a.task for a in plan.assignments if a.task not in by_name]
@@ -140,7 +138,7 @@ def validate_plan(
 
     # One virtual process per machine: a phase per barrier level (empty
     # phases keep the level indices aligned), a stream per placed task.
-    replays: list[tuple[MachineSpec, SimWorkload, bool, int]] = []
+    replays: list[tuple[MachineSpec, SimWorkload]] = []
     for machine in specs:
         workload = SimWorkload(
             name=f"placement-replay-{machine.name}",
@@ -156,11 +154,32 @@ def validate_plan(
             )
             for demand in demands:
                 stream.add(demand)
-        replays.append((machine, workload, noisy, seed))
+        replays.append((machine, workload))
+
+    from repro.runtime.service import RunRequest, get_service  # noqa: PLC0415 (cycle)
+
+    requests = [
+        RunRequest(
+            kind="engine",
+            target=workload,
+            machine=machine,
+            noisy=noisy,
+            # The historical placement-replay seed: one fixed stream per
+            # machine, independent of spawn index.
+            noise_seed=seed_from(machine.name, "placement", seed) if noisy else None,
+            reduce=_phase_bounds,
+            key=machine.name,
+        )
+        for machine, workload in replays
+    ]
+    svc = service if service is not None else get_service()
+    replay_start = time.perf_counter()
+    results = svc.run(requests, processes=processes)
+    replay_seconds = time.perf_counter() - replay_start
 
     emulated_levels = [0.0] * n_levels
-    for phase_bounds in parallel_map(_replay_machine, replays, processes=processes):
-        for index, (start, end) in enumerate(phase_bounds):
+    for result in results:
+        for index, (start, end) in enumerate(result.value):
             emulated_levels[index] = max(emulated_levels[index], end - start)
 
     levels = [
@@ -177,6 +196,16 @@ def validate_plan(
         emulated_makespan=float(sum(emulated_levels)),
         levels=levels,
         noisy=noisy,
+        info={
+            "replay": {
+                "machines": len(replays),
+                "requested_processes": processes,
+                "effective_workers": svc.resolve_workers(processes, len(replays)),
+                "host_cpu_count": os.cpu_count() or 1,
+                "seconds": replay_seconds,
+                "pool_workers": svc.pool_workers,
+            }
+        },
     )
 
 

@@ -1,0 +1,59 @@
+"""Unified run service & campaign layer.
+
+Every plane of this reproduction ultimately *executes runs*: the
+profiler repeats profiling runs, the emulator replays plans, the sim
+backend fans experiment batches across cores, plan validation replays
+placements, and the benchmarks sweep workloads over machines and noise
+seeds.  Before this package each of those call sites hand-rolled its own
+repeat/fan-out/collect loop; :mod:`repro.runtime` turns them into one
+subsystem:
+
+* :class:`RunRequest` / :class:`RunResult` — a declarative description
+  of one run (profile / emulate / raw engine execution / opaque
+  callable) with deterministic per-request noise seeds, and its outcome;
+* :class:`RunService` — executes any mix of requests, owning a
+  **persistent, reusable worker pool** so repeated batches do not pay
+  pool startup per batch; sim-plane requests fan out across processes,
+  host-plane requests run in-parent (profiling a real process from a
+  pool worker would perturb it);
+* :func:`get_service` — the process-wide default service shared by
+  ``Profiler.run_repeats``, ``Emulator.run``, ``SimBackend.run_many``,
+  ``predict.validate.validate_plan`` and the benchmark harness;
+* :mod:`repro.runtime.campaign` — a declarative sweep spec
+  (apps x machines x seeds x repeats) expanded to requests and executed
+  with a resumable on-:class:`~repro.storage.base.ProfileStore` ledger.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.campaign import (
+    CampaignCell,
+    CampaignReport,
+    CampaignSpec,
+    completed_cells,
+    ledger,
+    run_campaign,
+)
+from repro.runtime.service import (
+    ParallelFallbackWarning,
+    RunRequest,
+    RunResult,
+    RunService,
+    get_service,
+    reset_service,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignReport",
+    "CampaignSpec",
+    "ParallelFallbackWarning",
+    "RunRequest",
+    "RunResult",
+    "RunService",
+    "completed_cells",
+    "get_service",
+    "ledger",
+    "reset_service",
+    "run_campaign",
+]

@@ -1,0 +1,391 @@
+"""Declarative campaigns: sweeps with a resumable on-store ledger.
+
+A *campaign* is a declarative description of an experiment sweep — the
+cross product of application specs, machine models, noise seeds and
+repeats — executed through the :class:`~repro.runtime.service.RunService`
+and recorded in a :class:`~repro.storage.base.ProfileStore`.
+
+Every cell of the sweep has a deterministic identity (a digest over the
+cell's parameters *and* the spec settings that influence its result);
+the stored artifact carries that identity in its tags
+(``campaign=<name>``, ``cell=<digest>``).  The store therefore *is* the
+campaign ledger: re-running a campaign queries it first and only
+executes the missing cells, so an interrupted sweep resumes where it
+stopped and a completed sweep is a no-op.  Because each cell's noise
+derives from its own ``(seed, repeat)`` identity — never from execution
+order — a resumed campaign's ledger is identical to an uninterrupted
+run's.
+
+Spec form (dict or JSON file)::
+
+    {
+      "name": "sweep1",
+      "kind": "profile",                      // or "run" (raw engine)
+      "apps": ["gromacs:iterations=50000", "sleeper:sleep_seconds=2"],
+      "machines": ["thinkie", "comet"],
+      "seeds": [0, 1],                        // default [0]
+      "repeats": 2,                           // default 1
+      "noisy": true,                          // default true
+      "config": {"sample_rate": 2.0},         // SynapseConfig kwargs
+      "tags": {"experiment": "demo"}          // extra tags on every cell
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.errors import ConfigError
+from repro.runtime.service import RunRequest, RunService, get_service
+from repro.util.tables import Table
+
+__all__ = [
+    "CampaignCell",
+    "CampaignReport",
+    "CampaignSpec",
+    "completed_cells",
+    "ledger",
+    "run_campaign",
+]
+
+_KINDS = ("profile", "run")
+_SPEC_KEYS = frozenset(
+    {"name", "kind", "apps", "machines", "seeds", "repeats", "noisy", "config", "tags"}
+)
+
+#: Cells stored per checkpoint wave: an interrupted sweep keeps every
+#: finished wave in the ledger and resumes from the next one.
+DEFAULT_CHECKPOINT = 8
+
+
+def _str_list(value: Any, what: str) -> tuple[str, ...]:
+    if isinstance(value, str) or not isinstance(value, (list, tuple)):
+        raise ConfigError(f"campaign {what} must be a list of strings")
+    items = tuple(str(item) for item in value)
+    if not items:
+        raise ConfigError(f"campaign {what} must not be empty")
+    return items
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Validated campaign description (see module docstring for the form)."""
+
+    name: str
+    apps: tuple[str, ...]
+    machines: tuple[str, ...]
+    kind: str = "profile"
+    seeds: tuple[int, ...] = (0,)
+    repeats: int = 1
+    noisy: bool = True
+    config: dict[str, Any] = field(default_factory=dict)
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in "=,\n"):
+            raise ConfigError(
+                f"campaign name {self.name!r} must be non-empty and free of '=', ','"
+            )
+        if self.kind not in _KINDS:
+            raise ConfigError(f"campaign kind must be one of {_KINDS}, not {self.kind!r}")
+        if self.repeats < 1:
+            raise ConfigError("campaign repeats must be >= 1")
+        if not self.seeds:
+            raise ConfigError("campaign seeds must not be empty")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        unknown = set(data) - _SPEC_KEYS
+        if unknown:
+            raise ConfigError(f"unknown campaign spec keys: {sorted(unknown)}")
+        if "name" not in data or "apps" not in data or "machines" not in data:
+            raise ConfigError("campaign specs need 'name', 'apps' and 'machines'")
+        return cls(
+            name=str(data["name"]),
+            apps=_str_list(data["apps"], "apps"),
+            machines=_str_list(data["machines"], "machines"),
+            kind=str(data.get("kind", "profile")),
+            seeds=tuple(int(seed) for seed in data.get("seeds", (0,))),
+            repeats=int(data.get("repeats", 1)),
+            noisy=bool(data.get("noisy", True)),
+            config=dict(data.get("config", {})),
+            tags=dict(data.get("tags", {})),
+        )
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "CampaignSpec":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read campaign spec {path}: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"campaign spec {path} must be a JSON object")
+        return cls.from_dict(data)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.apps) * len(self.machines) * len(self.seeds) * self.repeats
+
+    def cells(self) -> list["CampaignCell"]:
+        """Expand the sweep into its cells, in deterministic spec order."""
+        cells = []
+        for app in self.apps:
+            for machine in self.machines:
+                for seed in self.seeds:
+                    for rep in range(self.repeats):
+                        cells.append(CampaignCell(self, app, machine, seed, rep))
+        return cells
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (app, machine, seed, repeat) point of a campaign sweep."""
+
+    spec: CampaignSpec
+    app: str
+    machine: str
+    seed: int
+    rep: int
+
+    @property
+    def digest(self) -> str:
+        """Deterministic cell identity.
+
+        Hashes the cell coordinates plus every spec setting that
+        influences the cell's stored artifact (kind, noisy, config,
+        tags), so editing the spec invalidates — rather than silently
+        reuses — old cells.
+        """
+        payload = json.dumps(
+            [
+                self.spec.name,
+                self.spec.kind,
+                self.app,
+                self.machine,
+                self.seed,
+                self.rep,
+                bool(self.spec.noisy),
+                sorted(self.spec.config.items()),
+                sorted((str(k), str(v)) for k, v in self.spec.tags.items()),
+            ],
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def cell_tags(self) -> dict[str, Any]:
+        return {
+            **self.spec.tags,
+            "campaign": self.spec.name,
+            "cell": self.digest,
+            "machine": self.machine,
+            "seed": self.seed,
+            "rep": self.rep,
+        }
+
+    def to_request(self) -> RunRequest:
+        """The declarative run request this cell executes as."""
+        from repro.apps.registry import parse_app  # noqa: PLC0415 (cycle)
+
+        app = parse_app(self.app)
+        if self.spec.kind == "profile":
+            return RunRequest(
+                kind="profile",
+                target=app,
+                machine=self.machine,
+                config=dict(self.spec.config),
+                noisy=self.spec.noisy,
+                seed=self.seed,
+                index=self.rep + 1,
+                tags=self.cell_tags(),
+                command=app.command(),
+                key=self.digest,
+            )
+        return RunRequest(
+            kind="engine",
+            target=app,
+            machine=self.machine,
+            noisy=self.spec.noisy,
+            seed=self.seed,
+            index=self.rep + 1,
+            reduce=_engine_summary,
+            key=self.digest,
+            metadata={"command": app.command()},
+        )
+
+    def artifact(self, value: Any):
+        """The ledger document for this cell's run outcome.
+
+        ``profile`` cells store the profile itself; ``run`` cells store
+        a summary profile (statics only) so both kinds live in the same
+        store and resume the same way.
+        """
+        from repro.apps.registry import parse_app  # noqa: PLC0415 (cycle)
+        from repro.core.samples import Profile  # noqa: PLC0415 (cycle)
+        from repro.sim.machines import get_machine  # noqa: PLC0415 (cycle)
+
+        if self.spec.kind == "profile":
+            return value
+        statics = dict(value["totals"])
+        statics["time.runtime_rusage"] = value["duration"]
+        return Profile(
+            command=parse_app(self.app).command(),
+            tags=self.cell_tags(),
+            machine=dict(get_machine(self.machine).info()),
+            config=dict(self.spec.config),
+            statics=statics,
+            info={"campaign_kind": "run", "phase_bounds": value["phase_bounds"]},
+        )
+
+
+def _engine_summary(record: Any) -> dict[str, Any]:
+    """Worker-side reducer for ``run`` cells: totals, not histories."""
+    return {
+        "duration": record.duration,
+        "totals": record.totals(),
+        "phase_bounds": [list(bounds) for bounds in record.phase_bounds],
+    }
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    name: str
+    total: int
+    skipped: int
+    executed: int
+    failed: list[dict[str, str]] = field(default_factory=list)
+    seconds: float = 0.0
+    truncated: bool = False
+
+    @property
+    def remaining(self) -> int:
+        """Cells still missing from the ledger after this invocation."""
+        return self.total - self.skipped - self.executed
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0 and not self.failed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "campaign": self.name,
+            "total": self.total,
+            "skipped": self.skipped,
+            "executed": self.executed,
+            "failed": list(self.failed),
+            "remaining": self.remaining,
+            "complete": self.complete,
+            "seconds": self.seconds,
+            "truncated": self.truncated,
+        }
+
+    def table(self) -> Table:
+        table = Table(
+            ["cells", "skipped (ledger)", "executed", "failed", "remaining"],
+            title=(
+                f"campaign {self.name!r}: "
+                f"{'complete' if self.complete else 'partial'} "
+                f"in {self.seconds:.2f}s"
+            ),
+        )
+        table.add_row(
+            [self.total, self.skipped, self.executed, len(self.failed), self.remaining]
+        )
+        return table
+
+
+def completed_cells(store: Any, name: str) -> set[str]:
+    """Digests of all cells of campaign ``name`` already in the ledger."""
+    done: set[str] = set()
+    for profile in store.find(tags=[f"campaign={name}"]):
+        for tag in profile.tags:
+            if tag.startswith("cell="):
+                done.add(tag[len("cell="):])
+    return done
+
+
+def ledger(store: Any, name: str) -> dict[str, Any]:
+    """The campaign's ledger: cell digest -> stored artifact profile."""
+    entries: dict[str, Any] = {}
+    for profile in store.find(tags=[f"campaign={name}"]):
+        for tag in profile.tags:
+            if tag.startswith("cell="):
+                entries[tag[len("cell="):]] = profile
+    return entries
+
+
+def run_campaign(
+    spec: CampaignSpec | Mapping[str, Any],
+    store: Any,
+    processes: int | None = None,
+    service: RunService | None = None,
+    limit: int | None = None,
+    checkpoint: int = DEFAULT_CHECKPOINT,
+) -> CampaignReport:
+    """Execute (or resume) a campaign sweep against its store ledger.
+
+    Cells already present in the ledger are skipped; the rest execute
+    through the run service in checkpointed waves of ``checkpoint``
+    cells — each wave is persisted before the next starts, so an
+    interruption loses at most one wave and a re-run completes only the
+    missing cells.  ``limit`` caps the cells executed in this
+    invocation (handy for smoke tests and incremental sweeps); failures
+    are recorded in the report, never stored as completed cells.
+    """
+    if not isinstance(spec, CampaignSpec):
+        spec = CampaignSpec.from_dict(spec)
+    svc = service if service is not None else get_service()
+    cells = spec.cells()
+    done = completed_cells(store, spec.name)
+    pending = [cell for cell in cells if cell.digest not in done]
+    skipped = len(cells) - len(pending)
+    truncated = False
+    if limit is not None and len(pending) > limit:
+        pending = pending[: max(0, limit)]
+        truncated = True
+
+    executed = 0
+    failures: list[dict[str, str]] = []
+    start = time.perf_counter()
+    for wave_start in range(0, len(pending), max(1, checkpoint)):
+        wave = pending[wave_start : wave_start + max(1, checkpoint)]
+        requests, runnable = [], []
+        for cell in wave:
+            try:
+                requests.append(cell.to_request())
+                runnable.append(cell)
+            except Exception as exc:  # unknown app spec, bad config, ...
+                failures.append(
+                    {"cell": cell.digest, "app": cell.app, "machine": cell.machine,
+                     "error": repr(exc)}
+                )
+        results = svc.run(requests, processes=processes, rethrow=False)
+        artifacts = []
+        for cell, result in zip(runnable, results):
+            if result.ok:
+                artifacts.append(cell.artifact(result.value))
+                executed += 1
+            else:
+                failures.append(
+                    {"cell": cell.digest, "app": cell.app, "machine": cell.machine,
+                     "error": result.error or "unknown error"}
+                )
+        if artifacts:
+            store.put_many(artifacts)
+
+    return CampaignReport(
+        name=spec.name,
+        total=len(cells),
+        skipped=skipped,
+        executed=executed,
+        failed=failures,
+        seconds=time.perf_counter() - start,
+        truncated=truncated,
+    )

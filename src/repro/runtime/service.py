@@ -1,0 +1,472 @@
+"""The run service: one execution runtime behind every plane.
+
+A :class:`RunRequest` describes one run declaratively; the
+:class:`RunService` executes batches of them.  Sim-plane requests (a
+machine model, no live backend object) are picklable and fan out over
+the service's **persistent** process pool — the pool survives across
+batches, so repeated ``run_many`` / campaign waves pay worker startup
+once per service instead of once per batch (the PR 2 follow-up).
+Host-plane requests and requests carrying live backend objects or
+opaque runners execute serially in the parent process.
+
+Determinism: each request carries ``(seed, index)`` (or an explicit
+``noise_seed``) from which its noise stream derives, so results are
+bit-identical regardless of worker count, chunking or execution order.
+
+When the pool cannot be created or dies (constrained hosts, forbidden
+fork, unpicklable payloads) the service degrades to the serial path
+with a :class:`~repro.core.multiproc.ParallelFallbackWarning` — it
+never fails a batch because of pool infrastructure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.multiproc import ParallelFallbackWarning, _serial_map, get_shared
+
+__all__ = [
+    "ParallelFallbackWarning",
+    "RunRequest",
+    "RunResult",
+    "RunService",
+    "get_service",
+    "reset_service",
+]
+
+#: Request kinds the service knows how to execute (see
+#: :mod:`repro.runtime.execute` for their semantics).
+KINDS = ("engine", "profile", "emulate", "call")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Declarative description of one run.
+
+    Attributes
+    ----------
+    kind:
+        ``"engine"`` — raw engine execution of a workload/app model,
+        yielding an :class:`~repro.sim.engine.ExecutionRecord`;
+        ``"profile"`` — a full profiling run yielding a
+        :class:`~repro.core.samples.Profile`;
+        ``"emulate"`` — replay of a profile/plan yielding an
+        :class:`~repro.core.emulator.EmulationResult`;
+        ``"call"`` — an opaque in-parent callable (``runner``), the
+        escape hatch for custom backends and profiler subclasses.
+    target:
+        What to run: a workload / application model (engine, profile),
+        a profile or emulation plan (emulate), or a shell command /
+        callable (host-plane profile).
+    machine:
+        Simulated machine (name or :class:`~repro.sim.resource.MachineSpec`)
+        the run executes on; ``None`` selects the host plane, which
+        always executes in-parent.
+    config:
+        :class:`~repro.core.config.SynapseConfig` or a kwargs mapping
+        for one (profile / emulate kinds).
+    noisy / seed / index / noise_seed:
+        The deterministic noise identity of this run.  Sim-plane noise
+        derives from ``seed_from(machine, workload, seed, index)`` —
+        exactly the per-spawn-slot stream ``SimBackend.spawn`` draws —
+        unless ``noise_seed`` overrides the derivation outright.
+    tags / command:
+        Profile metadata (profile kind).
+    reduce:
+        Optional picklable ``outcome -> value`` callable applied
+        *inside* the worker, so fan-outs that only need summaries never
+        ship full histories across the pool.
+    runner:
+        In-parent thunk for ``kind="call"``.
+    backend:
+        A live :class:`~repro.core.backend.ExecutionBackend` to run on;
+        forces in-parent execution (live backends are stateful and not
+        meaningfully picklable).
+    key:
+        Caller-assigned identity (campaign cell digest, machine name).
+    metadata:
+        Free-form extras; not interpreted by the service.
+    """
+
+    kind: str
+    target: Any = None
+    machine: Any = None
+    config: Any = None
+    noisy: bool = True
+    seed: int = 0
+    index: int = 1
+    noise_seed: int | None = None
+    tags: Any = None
+    command: str | None = None
+    reduce: Callable[[Any], Any] | None = None
+    runner: Callable[[], Any] | None = None
+    backend: Any = None
+    key: str | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown run kind {self.kind!r}; expected one of {KINDS}")
+        if self.kind == "call" and self.runner is None:
+            raise ValueError("kind='call' requests need a runner")
+
+    @property
+    def poolable(self) -> bool:
+        """Whether this request may execute in a pool worker.
+
+        Only declarative sim-plane requests qualify: they are rebuilt
+        from plain data inside the worker.  Live backends, opaque
+        runners and host-plane runs stay in the parent.
+        """
+        return (
+            self.kind in ("engine", "profile", "emulate")
+            and self.machine is not None
+            and self.backend is None
+            and self.runner is None
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one executed :class:`RunRequest`."""
+
+    request: RunRequest
+    ok: bool
+    value: Any = None
+    #: ``repr`` of the raised exception when ``ok`` is False.
+    error: str | None = None
+    #: Wall-clock execution time of this request (seconds, as measured
+    #: where it ran — inside the worker for pooled requests).
+    seconds: float = 0.0
+
+    @property
+    def key(self) -> str | None:
+        return self.request.key
+
+
+#: Chunks submitted per worker: >1 so the pool's dynamic dispatch
+#: rebalances heterogeneous batches (one chunk per worker would serialise
+#: a batch whose expensive items are contiguous, e.g. a campaign wave
+#: ordered app-outermost), while each chunk still amortises its pickle
+#: of the shared payload over many items.
+CHUNKS_PER_WORKER = 4
+
+
+def _split_chunks(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
+    """Contiguous near-equal chunks (order-preserving, no empty chunks)."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    chunks: list[list[Any]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def _run_chunk(payload: bytes) -> list[tuple[bool, Any]]:
+    """Worker-side chunk executor.
+
+    ``payload`` is the parent-pickled ``(fn, shared, chunk)`` triple:
+    pickling in the parent (instead of the executor's queue-feeder
+    thread) turns an unpicklable ``fn``/payload into a synchronous
+    error the serial fallback handles — feeder-thread pickling failures
+    deadlock ProcessPoolExecutor shutdown on some CPython versions.
+    The shared payload installs once per chunk, not per item, and
+    ``fn``'s own exceptions are separated from pool infrastructure
+    failures exactly like :func:`repro.core.multiproc.parallel_map`'s
+    contract requires.
+    """
+    import pickle  # noqa: PLC0415 - worker side
+
+    from repro.core.multiproc import _install_shared  # noqa: PLC0415 (cycle)
+
+    fn, shared, chunk = pickle.loads(payload)
+    previous = get_shared()
+    if shared is not None:
+        _install_shared(shared)
+    try:
+        outcomes: list[tuple[bool, Any]] = []
+        for item in chunk:
+            try:
+                outcomes.append((True, fn(item)))
+            except BaseException as exc:  # noqa: BLE001 - re-raised in the parent
+                outcomes.append((False, exc))
+        return outcomes
+    finally:
+        if shared is not None:
+            _install_shared(previous)
+
+
+def _execute_packed(item: tuple[RunRequest, int, int]) -> tuple[bool, float, Any]:
+    """Execute one packed request against the shared target/machine tables."""
+    from repro.runtime.execute import dispatch  # noqa: PLC0415 (cycle)
+
+    request, target_slot, machine_slot = item
+    targets, machines = get_shared()
+    start = time.perf_counter()
+    try:
+        value = dispatch(request, targets[target_slot], machines[machine_slot])
+        return True, time.perf_counter() - start, value
+    except Exception as exc:  # noqa: BLE001 - surfaced as RunResult / re-raised
+        return False, time.perf_counter() - start, exc
+
+
+class RunService:
+    """Executes batches of :class:`RunRequest` on a persistent pool.
+
+    Parameters
+    ----------
+    processes:
+        Default worker-count ceiling for batches that do not pass their
+        own ``processes`` (``None`` = all cores).  Worker counts are
+        always additionally clamped to the batch size; a resolved count
+        of 1 runs serially in-parent with zero pool overhead.
+
+    The pool starts lazily on the first parallel batch and is reused by
+    every later one — ``stats["pool_starts"]`` stays at 1 across
+    arbitrarily many batches unless a batch needs *more* workers (the
+    pool is restarted larger) or the pool breaks (serial fallback, then
+    a fresh pool on the next batch).  Call :meth:`close` (or use the
+    service as a context manager) to release the workers.
+    """
+
+    def __init__(self, processes: int | None = None) -> None:
+        self._processes = processes
+        self._pool: Any = None
+        self._pool_workers = 0
+        self.stats: dict[str, int] = {
+            "batches": 0,
+            "requests": 0,
+            "pool_starts": 0,
+            "fallbacks": 0,
+        }
+
+    # -- pool management ----------------------------------------------------
+
+    @property
+    def pool_workers(self) -> int:
+        """Worker count of the live pool (0 when no pool is running)."""
+        return self._pool_workers if self._pool is not None else 0
+
+    def resolve_workers(self, processes: int | None, n_items: int) -> int:
+        """Effective worker count for a batch of ``n_items``."""
+        if n_items <= 0:
+            return 0
+        limit = processes if processes is not None else self._processes
+        if limit is None:
+            limit = os.cpu_count() or 1
+        return max(1, min(limit, n_items))
+
+    def _ensure_pool(self, workers: int) -> Any:
+        if self._pool is not None and self._pool_workers < workers:
+            self._shutdown_pool()
+        if self._pool is None:
+            import concurrent.futures  # noqa: PLC0415 - keep off the serial path
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+            self.stats["pool_starts"] += 1
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        # wait=True: leaving the executor's management thread behind
+        # deadlocks concurrent.futures' atexit join at interpreter
+        # shutdown; the workers are idle between batches, so waiting is
+        # cheap.
+        pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent); the service stays usable
+        and will lazily start a fresh pool on the next parallel batch."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "RunService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- low-level map ------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        processes: int | None = None,
+        shared: Any = None,
+    ) -> list[Any]:
+        """Order-preserving map over the persistent pool.
+
+        The persistent-pool counterpart of
+        :func:`repro.core.multiproc.parallel_map`: same semantics
+        (``shared`` ships once per worker chunk, ``fn`` exceptions
+        re-raise in the parent, infrastructure failures degrade to a
+        serial re-run with a warning) but without paying pool startup
+        per call.
+        """
+        items = list(items)
+        workers = self.resolve_workers(processes, len(items))
+        if workers <= 1:
+            return _serial_map(fn, items, shared)
+        try:
+            import pickle  # noqa: PLC0415 - parallel path only
+
+            # Pickle each chunk payload here, not in the executor's
+            # feeder thread: unpicklable payloads then fail fast into
+            # the serial fallback instead of wedging the pool.
+            payloads = [
+                pickle.dumps((fn, shared, chunk))
+                for chunk in _split_chunks(items, workers * CHUNKS_PER_WORKER)
+            ]
+            pool = self._ensure_pool(workers)
+            futures = [pool.submit(_run_chunk, payload) for payload in payloads]
+            outcomes = [outcome for future in futures for outcome in future.result()]
+        except Exception as exc:  # noqa: BLE001 - infra boundary, see below
+            # Pool infrastructure failed (fn exceptions are captured
+            # inside _run_chunk and never land here).  Degrade to the
+            # serial path rather than failing the batch.
+            self._shutdown_pool()
+            self.stats["fallbacks"] += 1
+            warnings.warn(
+                f"run service pool unavailable ({exc!r}); running "
+                f"{len(items)} items serially",
+                ParallelFallbackWarning,
+                stacklevel=2,
+            )
+            return _serial_map(fn, items, shared)
+        results: list[Any] = []
+        for ok, value in outcomes:
+            if not ok:
+                raise value
+            results.append(value)
+        return results
+
+    # -- request execution ---------------------------------------------------
+
+    def run(
+        self,
+        requests: Iterable[RunRequest],
+        processes: int | None = None,
+        rethrow: bool = True,
+    ) -> list[RunResult]:
+        """Execute a batch of requests; returns results in request order.
+
+        Poolable requests fan out over the worker pool (respecting
+        ``processes``); the rest run serially in the parent, in request
+        order.  With ``rethrow`` (default) the first failing request
+        re-raises its exception; ``rethrow=False`` captures failures as
+        ``ok=False`` results instead — campaign ledgers use this to
+        record partial sweeps.
+        """
+        requests = list(requests)
+        self.stats["batches"] += 1
+        self.stats["requests"] += len(requests)
+        results: list[RunResult | None] = [None] * len(requests)
+
+        pooled = [i for i, request in enumerate(requests) if request.poolable]
+        if pooled:
+            targets, machines, items = _pack(requests, pooled)
+            outcomes = self.map(
+                _execute_packed, items, processes=processes, shared=(targets, machines)
+            )
+            for i, (ok, seconds, value) in zip(pooled, outcomes):
+                if not ok and rethrow:
+                    raise value
+                results[i] = RunResult(
+                    request=requests[i],
+                    ok=ok,
+                    value=value if ok else None,
+                    error=None if ok else repr(value),
+                    seconds=seconds,
+                )
+        for i, request in enumerate(requests):
+            if results[i] is None:
+                results[i] = self._execute_local(request, rethrow)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _execute_local(request: RunRequest, rethrow: bool) -> RunResult:
+        from repro.runtime.execute import dispatch  # noqa: PLC0415 (cycle)
+
+        start = time.perf_counter()
+        try:
+            value = dispatch(request, request.target, request.machine)
+            return RunResult(
+                request=request, ok=True, value=value,
+                seconds=time.perf_counter() - start,
+            )
+        except Exception as exc:
+            if rethrow:
+                raise
+            return RunResult(
+                request=request, ok=False, error=repr(exc),
+                seconds=time.perf_counter() - start,
+            )
+
+
+def _pack(
+    requests: Sequence[RunRequest], indices: Sequence[int]
+) -> tuple[list[Any], list[Any], list[tuple[RunRequest, int, int]]]:
+    """Strip bulky objects out of poolable requests.
+
+    Distinct targets and machines ship once per batch (in the shared
+    payload) no matter how many requests reference them — fanning one
+    workload over many seeds costs one pickle, as the pre-service
+    ``spawn_many`` path did.
+    """
+    targets: list[Any] = []
+    target_slots: dict[int, int] = {}
+    machines: list[Any] = []
+    machine_slots: dict[int, int] = {}
+    items: list[tuple[RunRequest, int, int]] = []
+    for i in indices:
+        request = requests[i]
+        target_slot = target_slots.get(id(request.target))
+        if target_slot is None:
+            target_slot = len(targets)
+            target_slots[id(request.target)] = target_slot
+            targets.append(request.target)
+        machine_slot = machine_slots.get(id(request.machine))
+        if machine_slot is None:
+            machine_slot = len(machines)
+            machine_slots[id(request.machine)] = machine_slot
+            machines.append(request.machine)
+        lite = replace(request, target=None, machine=None)
+        items.append((lite, target_slot, machine_slot))
+    return targets, machines, items
+
+
+_default_service: RunService | None = None
+
+
+def get_service() -> RunService:
+    """The process-wide default :class:`RunService` (created lazily).
+
+    Shared by every refactored entry point — ``Profiler.run_repeats``,
+    ``Emulator.run``, ``SimBackend.run_many``, ``validate_plan``, the
+    campaign runner and the benchmark harness — so they all amortise
+    one pool.  The pool is released at interpreter exit.
+    """
+    global _default_service
+    if _default_service is None:
+        import atexit  # noqa: PLC0415 - one-time setup
+
+        _default_service = RunService()
+        atexit.register(_default_service.close)
+    return _default_service
+
+
+def reset_service() -> None:
+    """Close and drop the default service (tests, forked children)."""
+    global _default_service
+    if _default_service is not None:
+        _default_service.close()
+        _default_service = None

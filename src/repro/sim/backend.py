@@ -7,10 +7,11 @@ counter history — but the returned handle reveals it only as virtual time
 passes, preserving black-box profiling semantics.
 
 :meth:`SimBackend.spawn_many` is the batch entry point: it executes a
-whole list of targets, optionally fanned out over a process pool
-(:func:`repro.core.multiproc.parallel_map`).  Parallel spawning is
-deterministic — each slot's noise seed derives from its spawn index, so
-the records are identical to sequential :meth:`spawn` calls.
+whole list of targets, optionally fanned out over the persistent worker
+pool of the process-wide :class:`~repro.runtime.service.RunService`.
+Parallel spawning is deterministic — each slot's noise seed derives from
+its spawn index, so the records are identical to sequential
+:meth:`spawn` calls.
 """
 
 from __future__ import annotations
@@ -32,7 +33,14 @@ __all__ = ["SimBackend"]
 def _noise_for(
     machine: MachineSpec, workload: SimWorkload, noisy: bool, seed: int, index: int
 ) -> NoiseModel:
-    """The deterministic noise model of spawn number ``index``."""
+    """The deterministic noise model of spawn number ``index``.
+
+    This derivation is the noise contract of the whole sim plane: the
+    run service's engine executor
+    (:mod:`repro.runtime.execute`) reproduces it bit-exactly from a
+    request's ``(seed, index)``, which is what makes service execution
+    interchangeable with sequential spawning.
+    """
     if not noisy:
         return NoiseModel.silent()
     return NoiseModel(
@@ -40,26 +48,6 @@ def _noise_for(
         duration_sigma=machine.noise_sigma,
         counter_sigma=machine.noise_sigma / 3.0,
     )
-
-
-def _run_spawn(item: tuple[int, int]) -> Any:
-    """Worker for parallel :meth:`SimBackend.spawn_many` /
-    :meth:`SimBackend.run_many`.
-
-    The bulky state (machine spec, distinct workloads, reducer) ships
-    once per worker as the :func:`repro.core.multiproc.parallel_map`
-    ``shared`` payload; each item is only ``(spawn index, workload
-    slot)``.  ``reduce`` runs inside the worker, so fan-out callers that
-    only need summaries never ship full histories between processes.
-    """
-    from repro.core.multiproc import get_shared  # noqa: PLC0415 (cycle)
-
-    machine, workloads, noisy, seed, reduce = get_shared()
-    index, slot = item
-    workload = workloads[slot]
-    noise = _noise_for(machine, workload, noisy, seed, index)
-    record = Engine(machine, noise).run(workload)
-    return record if reduce is None else reduce(record)
 
 
 class SimBackend(ExecutionBackend):
@@ -77,6 +65,11 @@ class SimBackend(ExecutionBackend):
     seed:
         Extra entropy mixed into every spawn's noise seed, so different
         experiment repeats draw independent noise.
+    spawn_offset:
+        Number of spawn slots to skip: the first spawn draws the noise
+        of slot ``spawn_offset + 1``.  The run service uses this to
+        rebuild, inside a worker, a backend whose next spawn is
+        bit-identical to slot *k* of a sequential run.
     """
 
     name = "sim"
@@ -86,6 +79,7 @@ class SimBackend(ExecutionBackend):
         machine: MachineSpec | str,
         noisy: bool = True,
         seed: int = 0,
+        spawn_offset: int = 0,
     ) -> None:
         if isinstance(machine, str):
             from repro.sim.machines import get_machine  # noqa: PLC0415 (cycle)
@@ -95,7 +89,7 @@ class SimBackend(ExecutionBackend):
         self.noisy = noisy
         self.seed = seed
         self.clock = VirtualClock()
-        self._spawn_count = 0
+        self._spawn_count = spawn_offset
 
     # -- ExecutionBackend ---------------------------------------------------
 
@@ -134,8 +128,8 @@ class SimBackend(ExecutionBackend):
         concurrent from the profiler's point of view).  With
         ``processes=1`` (default) the engine runs serially in-process;
         ``processes=None`` fans the engine runs out over all cores, and
-        any other value over that many worker processes
-        (:func:`repro.core.multiproc.parallel_map`).  Records are
+        any other value over that many worker processes (the shared
+        :class:`~repro.runtime.service.RunService` pool).  Records are
         bit-identical either way: spawn slot *i* always draws its noise
         from the same per-index seed the sequential :meth:`spawn` path
         would use.
@@ -151,36 +145,42 @@ class SimBackend(ExecutionBackend):
         targets: Sequence[Any],
         processes: int | None = 1,
         reduce: Callable[[ExecutionRecord], Any] | None = None,
+        service: Any = None,
     ) -> list[Any]:
         """Batch-execute targets; returns raw engine output per target.
 
-        Without ``reduce`` this yields one :class:`ExecutionRecord` per
-        target.  ``reduce`` — a picklable, module-level callable
-        ``record -> value`` — runs *inside* the worker processes, so
-        parallel experiment fan-out that only needs summaries (totals,
-        durations, phase bounds) never serialises full counter
-        histories across the pool.  Determinism matches
-        :meth:`spawn_many`.
+        The batch is submitted as engine requests to the run service
+        (``service`` overrides the process-wide default), whose
+        **persistent** pool fans them out — repeated ``run_many`` calls
+        reuse the same workers instead of paying pool startup per
+        batch.  Without ``reduce`` this yields one
+        :class:`ExecutionRecord` per target.  ``reduce`` — a picklable,
+        module-level callable ``record -> value`` — runs *inside* the
+        worker processes, so parallel experiment fan-out that only
+        needs summaries (totals, durations, phase bounds) never
+        serialises full counter histories across the pool.  Determinism
+        matches :meth:`spawn_many`: distinct workload objects still
+        ship once per batch however many requests reference them.
         """
-        from repro.core.multiproc import parallel_map  # noqa: PLC0415 (cycle)
+        from repro.runtime.service import RunRequest, get_service  # noqa: PLC0415 (cycle)
 
         workloads = [self._resolve(target) for target in targets]
         first_index = self._spawn_count + 1
         self._spawn_count += len(workloads)
-        # Ship each *distinct* workload object once; repeated fan-out of
-        # one workload (seed sweeps, repeats) costs one pickle total.
-        slots: dict[int, int] = {}
-        distinct: list[SimWorkload] = []
-        items: list[tuple[int, int]] = []
-        for offset, workload in enumerate(workloads):
-            slot = slots.get(id(workload))
-            if slot is None:
-                slot = len(distinct)
-                slots[id(workload)] = slot
-                distinct.append(workload)
-            items.append((first_index + offset, slot))
-        shared = (self.machine, distinct, self.noisy, self.seed, reduce)
-        return parallel_map(_run_spawn, items, processes=processes, shared=shared)
+        requests = [
+            RunRequest(
+                kind="engine",
+                target=workload,
+                machine=self.machine,
+                noisy=self.noisy,
+                seed=self.seed,
+                index=first_index + offset,
+                reduce=reduce,
+            )
+            for offset, workload in enumerate(workloads)
+        ]
+        svc = service if service is not None else get_service()
+        return [result.value for result in svc.run(requests, processes=processes)]
 
     def _resolve(self, target: Any) -> SimWorkload:
         if isinstance(target, SimWorkload):

@@ -1,0 +1,128 @@
+"""CLI campaign command and deterministic registry listings."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli.main import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _spec_file(tmp_path, **overrides) -> str:
+    spec = {
+        "name": "cli-camp",
+        "apps": ["sleeper:sleep_seconds=1", "gromacs:iterations=20000"],
+        "machines": ["thinkie", "comet"],
+        "config": {"sample_rate": 2.0},
+        **overrides,
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec), encoding="utf-8")
+    return str(path)
+
+
+class TestCampaignCommand:
+    def test_runs_and_writes_summary_json(self, tmp_path):
+        store = f"file://{tmp_path / 'store'}"
+        summary = tmp_path / "summary.json"
+        code, text = run_cli(
+            "--store", store, "campaign", _spec_file(tmp_path),
+            "--json", str(summary),
+        )
+        assert code == 0
+        assert "campaign 'cli-camp'" in text and "complete" in text
+        doc = json.loads(summary.read_text(encoding="utf-8"))
+        assert doc["total"] == 4 and doc["executed"] == 4 and doc["complete"]
+
+    def test_rerun_skips_ledger_cells(self, tmp_path):
+        store = f"file://{tmp_path / 'store'}"
+        spec = _spec_file(tmp_path)
+        assert run_cli("--store", store, "campaign", spec)[0] == 0
+        summary = tmp_path / "resume.json"
+        code, _ = run_cli(
+            "--store", store, "campaign", spec, "--json", str(summary)
+        )
+        assert code == 0
+        doc = json.loads(summary.read_text(encoding="utf-8"))
+        assert doc["skipped"] == 4 and doc["executed"] == 0
+
+    def test_limit_then_resume(self, tmp_path):
+        store = f"file://{tmp_path / 'store'}"
+        spec = _spec_file(tmp_path)
+        code, _ = run_cli("--store", store, "campaign", spec, "--limit", "1")
+        assert code == 0
+        summary = tmp_path / "resume.json"
+        run_cli("--store", store, "campaign", spec, "--json", str(summary))
+        doc = json.loads(summary.read_text(encoding="utf-8"))
+        assert doc["skipped"] == 1 and doc["executed"] == 3 and doc["complete"]
+
+    def test_failed_cells_exit_nonzero(self, tmp_path):
+        store = f"file://{tmp_path / 'store'}"
+        spec = _spec_file(tmp_path, apps=["nosuchapp"])
+        code, text = run_cli("--store", store, "campaign", spec)
+        assert code == 1
+        assert "failed cell" in text
+
+    def test_missing_spec_file_errors(self, tmp_path):
+        code, _ = run_cli("campaign", str(tmp_path / "nope.json"))
+        assert code == 1
+
+
+def _listed_names(text: str) -> list[str]:
+    """First column of a rendered table, minus the header/rule rows."""
+    names = []
+    for line in text.splitlines()[2:]:
+        if line.strip():
+            names.append(line.split("|")[0].strip())
+    return names
+
+
+class TestDeterministicListings:
+    """``machines``/``kernels``/``apps`` print sorted regardless of
+    registration order, so campaign specs built from them are stable."""
+
+    def test_machines_sorted(self):
+        _, text = run_cli("machines")
+        names = _listed_names(text)
+        assert names == sorted(names) and "thinkie" in names
+
+    def test_kernels_sorted_with_late_registration(self):
+        from repro.kernels import registry as kernels
+        from repro.kernels.base import ComputeKernel
+
+        class AaaKernel(ComputeKernel):
+            name = "aaa-test-kernel"
+            workload_class = "kernel.c"
+            description = "registered out of order"
+
+            def execute_units(self, units: float) -> None:
+                pass
+
+        kernels.register(AaaKernel)
+        try:
+            _, text = run_cli("kernels")
+            names = _listed_names(text)
+            assert names == sorted(names)
+            assert names[0] == "aaa-test-kernel"
+        finally:
+            kernels._REGISTRY.pop("aaa-test-kernel", None)
+            kernels._INSTANCES.pop("aaa-test-kernel", None)
+
+    def test_apps_sorted_with_late_registration(self):
+        from repro.apps import registry as apps
+        from repro.apps.sleeper import SleeperApp
+
+        apps.register_app("aaa-test-app", SleeperApp)
+        try:
+            _, text = run_cli("apps")
+            names = _listed_names(text)
+            assert names == sorted(names)
+            assert names[0] == "aaa-test-app"
+        finally:
+            apps._FACTORIES.pop("aaa-test-app", None)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.multiproc import get_shared, parallel_map
+from repro.core.multiproc import ParallelFallbackWarning, get_shared, parallel_map
 
 
 def _square(x: int) -> int:
@@ -59,5 +59,30 @@ class TestParallelMap:
 
     def test_unpicklable_fn_falls_back_to_serial(self):
         offset = 10
-        out = parallel_map(lambda x: x + offset, [1, 2, 3], processes=2)
+        with pytest.warns(ParallelFallbackWarning):
+            out = parallel_map(lambda x: x + offset, [1, 2, 3], processes=2)
         assert out == [11, 12, 13]
+
+    def test_pool_creation_failure_degrades_with_warning(self, monkeypatch):
+        """Constrained hosts (no fork / missing start method) get a
+        serial result plus a warning, never an exception."""
+        import concurrent.futures
+
+        def explode(*args, **kwargs):
+            raise PermissionError("fork blocked by sandbox")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", explode)
+        with pytest.warns(ParallelFallbackWarning, match="running 4 items serially"):
+            out = parallel_map(_square, [1, 2, 3, 4], processes=2)
+        assert out == [1, 4, 9, 16]
+
+    def test_fallback_still_reraises_fn_exceptions(self, monkeypatch):
+        import concurrent.futures
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("no start method")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", explode)
+        with pytest.warns(ParallelFallbackWarning):
+            with pytest.raises(RuntimeError, match="boom"):
+                parallel_map(_explode, [0, 1, 2, 3], processes=2)

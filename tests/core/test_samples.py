@@ -152,6 +152,72 @@ class TestMergeWatcherSeries:
         assert Profile.merge_watcher_series([], {}, {}) == []
 
 
+def _merge_watcher_series_scalar(grid, cumulative, levels, watcher_times=None):
+    """Pre-PR-3 scalar merge (one ``value_at`` per metric per interval):
+    the equivalence oracle for the batched ``merge_watcher_series``."""
+    intervals = list(grid)
+    samples = []
+    prev_cum = {name: 0.0 for name in cumulative}
+    wt = {k: list(v) for k, v in (watcher_times or {}).items()}
+    for index, (t, dt) in enumerate(intervals):
+        values = {}
+        end = t + dt
+        for name, series in cumulative.items():
+            now_val = series.value_at(end)
+            values[name] = now_val - prev_cum[name]
+            prev_cum[name] = now_val
+        for name, series in levels.items():
+            values[name] = series.value_at(end)
+        times = {
+            watcher: stamps[index]
+            for watcher, stamps in wt.items()
+            if index < len(stamps)
+        }
+        samples.append(Sample(index=index, t=t, dt=dt, values=values, watcher_times=times))
+    return samples
+
+
+class TestBatchedMergeEquivalence:
+    """The packed-array merge is pinned bit-identical to the scalar
+    reference above, the host-plane analogue of the sim plane's
+    golden-equivalence fixtures."""
+
+    @staticmethod
+    def _compare(grid, cum, lev, wt=None):
+        batched = Profile.merge_watcher_series(grid, cum, lev, wt)
+        scalar = _merge_watcher_series_scalar(grid, cum, lev, wt)
+        assert len(batched) == len(scalar)
+        for left, right in zip(batched, scalar):
+            # Exact equality on purpose: the batched path must subtract
+            # the very same float64 values the scalar loop tracked.
+            assert left.to_dict() == right.to_dict()
+
+    def test_randomised_series_match_exactly(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            n_points = int(rng.integers(0, 40))
+            times = np.sort(rng.uniform(0.0, 20.0, n_points))
+            cum = {
+                name: TimeSeries(times, np.cumsum(rng.uniform(0.0, 5.0, n_points)))
+                for name in ("c1", "c2")
+            }
+            lev = {"l1": TimeSeries(times, rng.uniform(0.0, 100.0, n_points))}
+            n_grid = int(rng.integers(0, 30))
+            grid = [(float(i) * 0.7, 0.7) for i in range(n_grid)]
+            wt = {"w": [float(t) for t, _ in grid[: max(0, n_grid - 2)]]}
+            self._compare(grid, cum, lev, wt)
+
+    def test_empty_series_match(self):
+        grid = [(0.0, 1.0), (1.0, 1.0)]
+        self._compare(grid, {"c": TimeSeries()}, {"l": TimeSeries()})
+
+    def test_degenerate_duplicate_timestamps_match(self):
+        series = TimeSeries([1.0, 1.0, 1.0], [0.0, 5.0, 5.0])
+        self._compare([(0.0, 1.0), (1.0, 1.0)], {"c": series}, {"l": series})
+
+
 class TestNormalisationOnInit:
     def test_command_normalised(self):
         profile = Profile(command="  a   b ")

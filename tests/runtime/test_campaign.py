@@ -1,0 +1,202 @@
+"""Campaign specs, ledger resume semantics (``repro.runtime.campaign``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.runtime import (
+    CampaignSpec,
+    RunService,
+    completed_cells,
+    ledger,
+    run_campaign,
+)
+from repro.storage.base import MemoryStore
+
+SPEC = {
+    "name": "camp",
+    "kind": "profile",
+    "apps": ["gromacs:iterations=20000", "sleeper:sleep_seconds=1"],
+    "machines": ["thinkie", "comet"],
+    "seeds": [0, 1],
+    "repeats": 1,
+    "config": {"sample_rate": 2.0},
+}
+
+
+def _comparable(profile) -> dict:
+    """Profile dict minus transient run identity.
+
+    ``created`` is a wall-clock stamp and the virtual pid is a
+    process-global counter — both differ between any two executions
+    (exactly like a real OS pid would); everything measured is kept.
+    """
+    data = profile.to_dict()
+    data.pop("created")
+    data.get("info", {}).get("process", {}).pop("pid", None)
+    return data
+
+
+class TestSpec:
+    def test_from_dict_and_expansion(self):
+        spec = CampaignSpec.from_dict(SPEC)
+        assert spec.n_cells == 2 * 2 * 2
+        cells = spec.cells()
+        assert len(cells) == spec.n_cells
+        assert len({cell.digest for cell in cells}) == spec.n_cells
+
+    def test_cell_order_and_digests_are_deterministic(self):
+        first = CampaignSpec.from_dict(SPEC).cells()
+        second = CampaignSpec.from_dict(SPEC).cells()
+        assert [c.digest for c in first] == [c.digest for c in second]
+
+    def test_digest_tracks_result_affecting_settings(self):
+        base = CampaignSpec.from_dict(SPEC).cells()[0]
+        changed = CampaignSpec.from_dict({**SPEC, "config": {"sample_rate": 5.0}})
+        assert base.digest != changed.cells()[0].digest
+
+    def test_digest_tracks_spec_tags(self):
+        """Tags land in the stored artifacts, so editing them must
+        invalidate old cells instead of silently reusing them."""
+        tagged = CampaignSpec.from_dict({**SPEC, "tags": {"experiment": "a"}})
+        retagged = CampaignSpec.from_dict({**SPEC, "tags": {"experiment": "b"}})
+        assert tagged.cells()[0].digest != retagged.cells()[0].digest
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown campaign spec keys"):
+            CampaignSpec.from_dict({**SPEC, "machnes": ["thinkie"]})
+
+    def test_required_keys(self):
+        with pytest.raises(ConfigError, match="need"):
+            CampaignSpec.from_dict({"name": "x", "apps": ["sleeper"]})
+
+    def test_bad_kind_and_name(self):
+        with pytest.raises(ConfigError, match="kind"):
+            CampaignSpec.from_dict({**SPEC, "kind": "teleport"})
+        with pytest.raises(ConfigError, match="name"):
+            CampaignSpec.from_dict({**SPEC, "name": "a=b"})
+
+    def test_from_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SPEC), encoding="utf-8")
+        assert CampaignSpec.from_json(path).n_cells == 8
+        with pytest.raises(ConfigError, match="cannot read"):
+            CampaignSpec.from_json(tmp_path / "missing.json")
+
+
+class TestRunCampaign:
+    def test_full_run_fills_ledger(self):
+        spec = CampaignSpec.from_dict(SPEC)
+        store = MemoryStore()
+        report = run_campaign(spec, store)
+        assert report.complete
+        assert report.executed == spec.n_cells
+        assert set(ledger(store, spec.name)) == {c.digest for c in spec.cells()}
+
+    def test_profiles_carry_cell_tags(self):
+        spec = CampaignSpec.from_dict({**SPEC, "tags": {"experiment": "x"}})
+        store = MemoryStore()
+        run_campaign(spec, store)
+        profile = store.find(tags=[f"campaign={spec.name}"])[0]
+        assert "experiment=x" in profile.tags
+        assert any(tag.startswith("cell=") for tag in profile.tags)
+
+    def test_run_kind_stores_summary_artifacts(self):
+        spec = CampaignSpec.from_dict(
+            {**SPEC, "kind": "run", "config": {}, "apps": ["gromacs:iterations=20000"]}
+        )
+        store = MemoryStore()
+        report = run_campaign(spec, store)
+        assert report.complete
+        profile = store.find(tags=[f"campaign={spec.name}"])[0]
+        assert profile.statics["time.runtime_rusage"] > 0
+        assert profile.info["campaign_kind"] == "run"
+
+    def test_interrupted_campaign_resumes_only_missing_cells(self):
+        """The acceptance scenario: interrupt mid-sweep, re-run, assert
+        completed cells are skipped and the final ledger is identical to
+        an uninterrupted run's."""
+        spec = CampaignSpec.from_dict(SPEC)
+
+        # Uninterrupted reference sweep.
+        reference_store = MemoryStore()
+        run_campaign(spec, reference_store)
+        reference = {
+            digest: _comparable(profile)
+            for digest, profile in ledger(reference_store, spec.name).items()
+        }
+
+        # Interrupted sweep: 3 cells, stop, resume.
+        store = MemoryStore()
+        partial = run_campaign(spec, store, limit=3)
+        assert partial.executed == 3 and partial.truncated
+        assert partial.remaining == spec.n_cells - 3
+        assert len(completed_cells(store, spec.name)) == 3
+
+        resumed = run_campaign(spec, store)
+        assert resumed.skipped == 3
+        assert resumed.executed == spec.n_cells - 3
+        assert resumed.complete
+
+        final = {
+            digest: _comparable(profile)
+            for digest, profile in ledger(store, spec.name).items()
+        }
+        assert final == reference
+
+    def test_completed_campaign_is_a_noop(self):
+        spec = CampaignSpec.from_dict(SPEC)
+        store = MemoryStore()
+        run_campaign(spec, store)
+        again = run_campaign(spec, store)
+        assert again.executed == 0
+        assert again.skipped == spec.n_cells
+        assert again.complete
+
+    def test_failed_cells_are_not_recorded_as_complete(self):
+        spec = CampaignSpec.from_dict(
+            {**SPEC, "apps": ["gromacs:iterations=20000", "nosuchapp"]}
+        )
+        store = MemoryStore()
+        report = run_campaign(spec, store)
+        assert len(report.failed) == 4  # nosuchapp x 2 machines x 2 seeds
+        assert report.executed == 4
+        assert not report.complete
+        assert len(completed_cells(store, spec.name)) == 4
+
+    def test_checkpoint_waves_persist_incrementally(self):
+        """A service dying mid-sweep loses at most one checkpoint wave."""
+
+        class DyingService(RunService):
+            def __init__(self, die_after_batches: int) -> None:
+                super().__init__()
+                self._die_after = die_after_batches
+
+            def run(self, requests, processes=None, rethrow=True):
+                if self._die_after <= 0:
+                    raise KeyboardInterrupt
+                self._die_after -= 1
+                return super().run(requests, processes=processes, rethrow=rethrow)
+
+        spec = CampaignSpec.from_dict(SPEC)
+        store = MemoryStore()
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                spec, store, service=DyingService(1), checkpoint=3
+            )
+        # The first wave (3 cells) survived the crash.
+        assert len(completed_cells(store, spec.name)) == 3
+        resumed = run_campaign(spec, store)
+        assert resumed.skipped == 3 and resumed.complete
+
+    def test_report_dict_roundtrip(self):
+        spec = CampaignSpec.from_dict(SPEC)
+        report = run_campaign(spec, MemoryStore(), limit=2)
+        doc = report.to_dict()
+        assert doc["total"] == spec.n_cells
+        assert doc["executed"] == 2
+        assert doc["truncated"] is True
+        assert doc["complete"] is False

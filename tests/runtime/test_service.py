@@ -1,0 +1,294 @@
+"""The unified run service (``repro.runtime.service``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SynapseConfig
+from repro.core.emulator import Emulator
+from repro.core.profiler import Profiler
+from repro.runtime import (
+    ParallelFallbackWarning,
+    RunRequest,
+    RunResult,
+    RunService,
+    get_service,
+    reset_service,
+)
+from repro.sim.backend import SimBackend
+from repro.sim.demands import ComputeDemand, IODemand
+from repro.sim.workload import SimWorkload
+
+from tests.conftest import make_backend
+
+
+def _workload(instructions: float = 5e8, name: str = "svc-wl") -> SimWorkload:
+    workload = SimWorkload(name=name)
+    stream = workload.phase("main").stream("main")
+    stream.add(ComputeDemand(instructions=instructions, workload_class="app.md"))
+    stream.add(IODemand(bytes_written=4 << 20))
+    return workload
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _duration(record) -> float:
+    return record.duration
+
+
+class TestRunRequest:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown run kind"):
+            RunRequest(kind="teleport")
+
+    def test_call_needs_runner(self):
+        with pytest.raises(ValueError, match="runner"):
+            RunRequest(kind="call")
+
+    def test_poolable_requires_declarative_sim_plane(self):
+        workload = _workload()
+        assert RunRequest(kind="engine", target=workload, machine="thinkie").poolable
+        assert not RunRequest(kind="engine", target=workload).poolable  # no machine
+        assert not RunRequest(
+            kind="profile", target=workload, machine="thinkie",
+            backend=make_backend(),
+        ).poolable  # live backend
+        assert not RunRequest(kind="call", runner=lambda: 1).poolable
+
+
+class TestMap:
+    def test_order_preserving(self):
+        with RunService() as service:
+            assert service.map(_square, range(10), processes=2) == [
+                x * x for x in range(10)
+            ]
+
+    def test_empty(self):
+        with RunService() as service:
+            assert service.map(_square, [], processes=4) == []
+
+    def test_pool_persists_across_batches(self):
+        with RunService(processes=2) as service:
+            service.map(_square, range(8))
+            service.map(_square, range(8))
+            service.map(_square, range(8))
+            assert service.stats["pool_starts"] <= 1  # 0 on 1-core hosts
+
+    def test_pool_creation_failure_degrades_serially(self, monkeypatch):
+        import concurrent.futures
+
+        def explode(*args, **kwargs):
+            raise OSError("no fork for you")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", explode
+        )
+        with RunService() as service:
+            with pytest.warns(ParallelFallbackWarning):
+                out = service.map(_square, range(6), processes=2)
+            assert out == [x * x for x in range(6)]
+            assert service.stats["fallbacks"] == 1
+
+
+class TestEngineRequests:
+    def test_matches_sequential_spawns(self):
+        """Service execution is bit-identical to SimBackend.spawn loops."""
+        workload = _workload()
+        reference_backend = SimBackend("thinkie", noisy=True, seed=3)
+        reference = [reference_backend.spawn(workload).record for _ in range(3)]
+        requests = [
+            RunRequest(
+                kind="engine", target=workload, machine="thinkie",
+                noisy=True, seed=3, index=index,
+            )
+            for index in (1, 2, 3)
+        ]
+        with RunService() as service:
+            results = service.run(requests)
+        assert all(isinstance(r, RunResult) and r.ok for r in results)
+        for result, record in zip(results, reference):
+            assert result.value.duration == record.duration
+            assert result.value.totals() == record.totals()
+
+    def test_parallel_identical_to_serial(self):
+        workload = _workload()
+        requests = [
+            RunRequest(
+                kind="engine", target=workload, machine="comet",
+                seed=1, index=i + 1, reduce=_duration,
+            )
+            for i in range(6)
+        ]
+        with RunService() as service:
+            serial = [r.value for r in service.run(requests, processes=1)]
+            parallel = [r.value for r in service.run(requests, processes=2)]
+        assert serial == parallel
+
+    def test_reduce_runs_where_the_record_is(self):
+        workload = _workload()
+        request = RunRequest(
+            kind="engine", target=workload, machine="thinkie",
+            noisy=False, reduce=_duration,
+        )
+        with RunService() as service:
+            [result] = service.run([request])
+        assert isinstance(result.value, float)
+        assert result.seconds >= 0.0
+
+    def test_rethrow_raises_request_errors(self):
+        request = RunRequest(kind="engine", target=object(), machine="thinkie")
+        with RunService() as service:
+            from repro.core.errors import WorkloadError
+
+            with pytest.raises(WorkloadError):
+                service.run([request])
+
+    def test_capture_records_errors(self):
+        good = RunRequest(
+            kind="engine", target=_workload(), machine="thinkie", noisy=False
+        )
+        bad = RunRequest(kind="engine", target=object(), machine="thinkie")
+        with RunService() as service:
+            results = service.run([bad, good], rethrow=False)
+        assert not results[0].ok and "WorkloadError" in results[0].error
+        assert results[1].ok
+
+
+class TestProfileAndEmulateRequests:
+    def test_profile_request_equals_direct_profiler(self):
+        workload = _workload(name="profiled-wl")
+        config = SynapseConfig(sample_rate=2.0)
+        direct = Profiler(make_backend("thinkie"), config=config).run(workload)
+        request = RunRequest(
+            kind="profile", target=workload, machine="thinkie",
+            config=config, noisy=False,
+        )
+        with RunService() as service:
+            [result] = service.run([request])
+        assert result.value.to_dict()["samples"] == direct.to_dict()["samples"]
+        assert result.value.totals() == direct.totals()
+
+    def test_emulate_request_equals_direct_emulator(self, gromacs_profile):
+        config = SynapseConfig(compute_kernel="asm")
+        direct = Emulator(backend=make_backend("comet"), config=config).run(
+            gromacs_profile
+        )
+        request = RunRequest(
+            kind="emulate", target=gromacs_profile, machine="comet",
+            config=config, noisy=False,
+        )
+        with RunService() as service:
+            [result] = service.run([request])
+        assert result.value.tx == direct.tx
+        assert result.value.backend == "sim"
+
+    def test_mixed_batch_preserves_order(self, gromacs_profile):
+        workload = _workload()
+        requests = [
+            RunRequest(kind="call", runner=lambda: "called"),
+            RunRequest(kind="engine", target=workload, machine="thinkie",
+                       noisy=False, reduce=_duration),
+            RunRequest(kind="emulate", target=gromacs_profile, machine="thinkie",
+                       noisy=False),
+        ]
+        with RunService() as service:
+            results = service.run(requests)
+        assert results[0].value == "called"
+        assert isinstance(results[1].value, float)
+        assert results[2].value.backend == "sim"
+
+
+class TestEntryPointsUseService:
+    def test_run_repeats_matches_sequential_runs(self):
+        """Service-backed run_repeats == the old sequential loop."""
+        app_workload = _workload(name="repeat-wl")
+        config = SynapseConfig(sample_rate=2.0)
+        sequential_backend = SimBackend("thinkie", noisy=True, seed=7)
+        sequential_profiler = Profiler(sequential_backend, config=config)
+        sequential = [sequential_profiler.run(app_workload) for _ in range(3)]
+
+        service_backend = SimBackend("thinkie", noisy=True, seed=7)
+        profiles = Profiler(service_backend, config=config).run_repeats(
+            app_workload, 3
+        )
+        for left, right in zip(sequential, profiles):
+            assert left.totals() == right.totals()
+            assert left.to_dict()["samples"] == right.to_dict()["samples"]
+        # The spawn slots are consumed either way: the next spawn on the
+        # backend draws slot 4's noise in both worlds.
+        assert (
+            sequential_backend.spawn(app_workload).record.duration
+            == service_backend.spawn(app_workload).record.duration
+        )
+
+    def test_emulator_subclass_overrides_survive_service_routing(self, gromacs_profile):
+        """An Emulator subclass's replay customisation must execute even
+        though run() routes through the service."""
+
+        class MarkingEmulator(Emulator):
+            def replay(self, plan):
+                result = super().replay(plan)
+                result.info["marked"] = True
+                return result
+
+        emulator = MarkingEmulator(backend=make_backend("comet"))
+        result = emulator.run(gromacs_profile)
+        assert result.info.get("marked") is True
+        assert result.tx == Emulator(backend=make_backend("comet")).run(
+            gromacs_profile
+        ).tx
+
+    def test_run_repeats_preserves_backend_subclasses(self):
+        """A SimBackend subclass cannot be rebuilt declaratively in a
+        worker, so run_repeats must keep using the live instance."""
+
+        class CountingBackend(SimBackend):
+            spawns = 0
+
+            def spawn(self, target, **kwargs):
+                CountingBackend.spawns += 1
+                return super().spawn(target, **kwargs)
+
+        backend = CountingBackend("thinkie", noisy=False)
+        profiles = Profiler(
+            backend, config=SynapseConfig(sample_rate=2.0)
+        ).run_repeats(_workload(), 2)
+        assert CountingBackend.spawns == 2
+        assert len(profiles) == 2
+
+    def test_run_repeats_stores_profiles(self):
+        from repro.storage.base import MemoryStore
+
+        store = MemoryStore()
+        profiler = Profiler(
+            make_backend("thinkie"), config=SynapseConfig(sample_rate=2.0),
+            store=store,
+        )
+        profiles = profiler.run_repeats(_workload(), 2, command="stored-wl")
+        assert store.count() == 2
+        assert [p.command for p in profiles] == ["stored-wl", "stored-wl"]
+
+    def test_validate_plan_records_pool_scaling(self):
+        from repro.predict.models import DemandVector, Task
+        from repro.predict.placement import plan
+        from repro.predict.validate import validate_plan
+
+        tasks = [
+            Task(name=f"t{i}", demand=DemandVector(instructions=2e9))
+            for i in range(4)
+        ]
+        result = plan(tasks, ["titan", "comet"])
+        report = validate_plan(result, tasks)
+        replay = report.info["replay"]
+        assert replay["machines"] == 2
+        assert replay["effective_workers"] >= 1
+        assert replay["seconds"] >= 0.0
+
+    def test_default_service_is_shared_and_resettable(self):
+        service = get_service()
+        assert get_service() is service
+        reset_service()
+        fresh = get_service()
+        assert fresh is not service
