@@ -1,0 +1,178 @@
+"""E.8 (extension) — Campaign throughput: sharded execution & report build.
+
+The campaign layer is how this reproduction runs paper-scale sweeps, so
+its two new moving parts get measured like any other hot path:
+
+* **sharded vs single-shard wall-clock** — the same spec executed
+  unsharded and as two digest-partitioned shards against one FileStore
+  ledger.  On one host the shards run sequentially, so their *sum*
+  exposes the sharding overhead (claim writes + partition scans) and
+  their *max* is the ideal two-host wall-clock the partition enables;
+* **report-build throughput** — how many ledger cells per second
+  ``repro.runtime.analyze`` aggregates into the paper-style
+  consistency/error tables (the ``--report`` path).
+
+Results land in ``benchmarks/results/BENCH_e8_campaign.json``; the
+sanity assertions double as a regression net: the sharded union must
+reproduce the unsharded ledger exactly.
+
+Run standalone (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_e8_campaign.py [--quick] [--out X.json]
+
+or through pytest: ``pytest benchmarks/bench_e8_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.runtime import CampaignSpec, analyze_campaign, ledger, run_campaign
+from repro.storage import FileStore
+from repro.util.tables import Table
+
+
+def make_spec(seeds: int, repeats: int) -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "bench-e8",
+        "kind": "profile",
+        "apps": ["gromacs:iterations=50000", "sleeper:sleep_seconds=2"],
+        "machines": ["thinkie", "comet"],
+        "seeds": list(range(seeds)),
+        "repeats": repeats,
+        "config": {"sample_rate": 2.0},
+    })
+
+
+def _ledger_digests(store, name: str) -> set[str]:
+    return set(ledger(store, name))
+
+
+def measure(seeds: int = 6, repeats: int = 2, report_rounds: int = 5) -> dict:
+    spec = make_spec(seeds, repeats)
+    with tempfile.TemporaryDirectory(prefix="bench-e8-") as root:
+        # Unsharded baseline.
+        single = FileStore(Path(root) / "single")
+        t0 = time.perf_counter()
+        baseline = run_campaign(spec, single)
+        single_seconds = time.perf_counter() - t0
+        assert baseline.complete, baseline.to_dict()
+
+        # Two shards, sequentially, against one shared ledger.
+        shared = FileStore(Path(root) / "sharded")
+        shard_seconds = []
+        for index in range(2):
+            t0 = time.perf_counter()
+            report = run_campaign(spec, shared, shard=(index, 2))
+            shard_seconds.append(time.perf_counter() - t0)
+            assert not report.failed, report.to_dict()
+
+        # The union reproduces the unsharded ledger exactly.
+        assert _ledger_digests(shared, spec.name) == _ledger_digests(
+            single, spec.name
+        )
+
+        # Report-build throughput over the finished ledger.
+        t0 = time.perf_counter()
+        for _ in range(report_rounds):
+            analysis = analyze_campaign(spec, shared)
+        report_seconds = (time.perf_counter() - t0) / report_rounds
+        assert analysis.complete
+
+    total_sharded = sum(shard_seconds)
+    return {
+        "spec": {
+            "n_cells": spec.n_cells,
+            "apps": len(spec.apps),
+            "machines": len(spec.machines),
+            "seeds": seeds,
+            "repeats": repeats,
+        },
+        "single_shard": {
+            "seconds": single_seconds,
+            "cells_per_sec": spec.n_cells / single_seconds,
+        },
+        "two_shards_sequential": {
+            "shard_seconds": shard_seconds,
+            "sum_seconds": total_sharded,
+            "overhead_vs_single": total_sharded / single_seconds,
+            "ideal_two_host_seconds": max(shard_seconds),
+            "ideal_two_host_speedup": single_seconds / max(shard_seconds),
+        },
+        "report_build": {
+            "rounds": report_rounds,
+            "seconds": report_seconds,
+            "cells_per_sec": spec.n_cells / report_seconds,
+            "groups": len(analysis.groups),
+        },
+    }
+
+
+def as_table(results: dict) -> Table:
+    table = Table(
+        ["metric", "seconds", "cells/sec", "note"],
+        title=f"E8 campaign throughput ({results['spec']['n_cells']} cells)",
+    )
+    single = results["single_shard"]
+    table.add_row(["unsharded run", single["seconds"], single["cells_per_sec"], "-"])
+    sharded = results["two_shards_sequential"]
+    table.add_row([
+        "2 shards (sequential sum)",
+        sharded["sum_seconds"],
+        results["spec"]["n_cells"] / sharded["sum_seconds"],
+        f"{sharded['overhead_vs_single']:.2f}x of unsharded (claim overhead)",
+    ])
+    table.add_row([
+        "2 shards (ideal 2-host)",
+        sharded["ideal_two_host_seconds"],
+        results["spec"]["n_cells"] / sharded["ideal_two_host_seconds"],
+        f"{sharded['ideal_two_host_speedup']:.2f}x projected speedup",
+    ])
+    report = results["report_build"]
+    table.add_row([
+        "--report build",
+        report["seconds"],
+        report["cells_per_sec"],
+        f"{report['groups']} groups/round",
+    ])
+    return table
+
+
+def test_e8_campaign():
+    """Pytest entry: quick measurement + report registration."""
+    from conftest import report  # noqa: PLC0415 - pytest-only plumbing
+
+    results = measure(seeds=2, repeats=1, report_rounds=2)
+    assert results["single_shard"]["cells_per_sec"] > 0
+    assert results["report_build"]["cells_per_sec"] > 0
+    # Sequential sharding costs claim bookkeeping, never reruns cells:
+    # well under double the unsharded time even on a tiny sweep.
+    assert results["two_shards_sequential"]["overhead_vs_single"] < 10.0
+    report("E8: campaign throughput", str(as_table(results)))
+
+
+def main() -> None:
+    from harness import write_json_result  # noqa: PLC0415 - script entry
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="result JSON path (default: benchmarks/results/)")
+    args = parser.parse_args()
+    if args.quick:
+        results = measure(seeds=2, repeats=1, report_rounds=2)
+    else:
+        results = measure()
+    print(as_table(results).render())
+    path = write_json_result("BENCH_e8_campaign", results, out=args.out)
+    print(f"\nresults written to {path}")
+    print(json.dumps(results["two_shards_sequential"], indent=1))
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,11 @@ methods" (§4).  Subcommands:
   planning across heterogeneous machine sets (``repro.predict``);
 * ``synapse campaign <spec.json>``               — run/resume a
   declarative sweep through the unified run service
-  (``repro.runtime``), with a resumable on-store ledger.
+  (``repro.runtime``), with a resumable on-store ledger;
+  ``--shard i/n`` executes one host's digest-assigned partition of the
+  pending cells (n hosts sharing one store split the sweep), and
+  ``--report`` aggregates a finished (or partial) ledger into the
+  paper-style consistency/error tables (``--format table|json|csv``).
 
 The console script installs as ``repro`` (see ``setup.py``), so the
 paper-facing spellings are ``repro predict``, ``repro place`` and
@@ -178,6 +182,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--json", default=None, help="write a machine-readable summary JSON here"
     )
+    p_campaign.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="execute only this shard's digest-assigned partition of the "
+             "pending cells (e.g. 0/2; run every shard against one store)",
+    )
+    p_campaign.add_argument(
+        "--claim-ttl", type=float, default=None, metavar="SECONDS",
+        help="how long a foreign cell claim defers a cell before its owner "
+             "is presumed dead (sharded runs; default 900)",
+    )
+    p_campaign.add_argument(
+        "--report", action="store_true",
+        help="do not execute; aggregate the ledger into the paper-style "
+             "consistency/error report (execution flags are rejected; "
+             "--json receives the analysis document)",
+    )
+    p_campaign.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="report output format (with --report; default: table)",
+    )
+    p_campaign.add_argument(
+        "--reference", default=None, metavar="MACHINE",
+        help="reference machine for the report's counter-error columns "
+             "(default: first machine in the spec)",
+    )
 
     sub.add_parser("machines", help="list simulated machine models")
     sub.add_parser("metrics", help="print the Table 1 metric inventory")
@@ -300,12 +329,71 @@ def _cmd_apps(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace, out) -> int:
-    from repro.runtime.campaign import CampaignSpec, run_campaign  # noqa: PLC0415 (lazy)
+    from repro.runtime.campaign import (  # noqa: PLC0415 (lazy)
+        DEFAULT_CLAIM_TTL,
+        CampaignSpec,
+        run_campaign,
+    )
 
+    # Mode-dependent flags fail fast instead of being silently ignored:
+    # forgetting --report must not turn a report request into an
+    # hours-long sweep execution, and --report must not swallow
+    # execution flags the user clearly meant to act.
+    if args.report:
+        rejected = [
+            name for name, value in (
+                ("--shard", args.shard), ("--claim-ttl", args.claim_ttl),
+                ("--limit", args.limit), ("--processes", args.processes),
+            )
+            if value is not None
+        ]
+        if rejected:
+            print(
+                f"error: --report does not execute the campaign; drop "
+                f"{', '.join(rejected)}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if args.format != "table" or args.reference is not None:
+            print("error: --format/--reference require --report", file=sys.stderr)
+            return 2
+        if args.claim_ttl is not None and args.shard is None:
+            print(
+                "error: --claim-ttl requires --shard (claims only run sharded)",
+                file=sys.stderr,
+            )
+            return 2
     spec = CampaignSpec.from_json(args.spec)
     store = open_store(args.store)
+    if args.report:
+        from repro.runtime.analyze import analyze_campaign  # noqa: PLC0415 (lazy)
+
+        analysis = analyze_campaign(spec, store, reference=args.reference)
+        if not analysis.complete:
+            # stderr, so `--format json`/`csv` stdout stays parseable.
+            print(
+                f"warning: ledger incomplete ({analysis.present_cells}/"
+                f"{analysis.expected_cells} cells); report covers the "
+                "completed cells only",
+                file=sys.stderr,
+            )
+        if args.json:
+            # Before the stdout render: a consumer truncating the pipe
+            # (| head) must not cost the machine-readable artifact.
+            from pathlib import Path  # noqa: PLC0415 (lazy)
+
+            Path(args.json).write_text(analysis.to_json(), encoding="utf-8")
+        print(analysis.render(args.format).rstrip("\n"), file=out)
+        return 0
     report = run_campaign(
-        spec, store, processes=args.processes, limit=args.limit
+        spec, store,
+        processes=args.processes,
+        limit=args.limit,
+        shard=args.shard,
+        claim_ttl=(
+            args.claim_ttl if args.claim_ttl is not None else DEFAULT_CLAIM_TTL
+        ),
     )
     print(report.table().render(), file=out)
     for failure in report.failed:

@@ -19,7 +19,9 @@ All execution funnels through the unified run service
 (:mod:`repro.runtime`): ``profile(repeats=...)``, ``emulate`` and plan
 validation submit run requests to one persistent-pool runtime, and
 :func:`campaign` exposes its declarative sweep layer (apps x machines x
-seeds x repeats with a resumable on-store ledger).
+seeds x repeats with a resumable on-store ledger, shardable across
+hosts).  :func:`campaign_report` aggregates a finished ledger into the
+paper's consistency/error tables.
 """
 
 from __future__ import annotations
@@ -45,6 +47,7 @@ __all__ = [
     "predict",
     "place",
     "campaign",
+    "campaign_report",
     "default_backend_for",
 ]
 
@@ -191,12 +194,23 @@ def predict(
     return dict(zip(names, predictions))
 
 
+def _resolve_campaign_spec(spec: Any):
+    import os  # noqa: PLC0415 (lazy)
+
+    from repro.runtime.campaign import CampaignSpec  # noqa: PLC0415 (lazy)
+
+    if isinstance(spec, (str, os.PathLike)):
+        return CampaignSpec.from_json(spec)
+    return spec
+
+
 def campaign(
     spec: Any,
     *,
     store: ProfileStore,
     processes: int | None = None,
     limit: int | None = None,
+    shard: Any = None,
 ):
     """Run (or resume) a declarative experiment campaign.
 
@@ -205,15 +219,39 @@ def campaign(
     machines x seeds x repeats) executes through the shared run service
     and records every cell in ``store``; cells already present are
     skipped, so interrupted campaigns resume where they stopped.
+    ``shard=(i, n)`` (or ``"i/n"``) executes only this host's
+    digest-assigned partition of the pending cells, so several hosts
+    sharing one store split the sweep between them.
     Returns the :class:`~repro.runtime.campaign.CampaignReport`.
     """
-    import os  # noqa: PLC0415 (lazy)
+    from repro.runtime.campaign import run_campaign  # noqa: PLC0415 (lazy)
 
-    from repro.runtime.campaign import CampaignSpec, run_campaign  # noqa: PLC0415 (lazy)
+    return run_campaign(
+        _resolve_campaign_spec(spec), store,
+        processes=processes, limit=limit, shard=shard,
+    )
 
-    if isinstance(spec, (str, os.PathLike)):
-        spec = CampaignSpec.from_json(spec)
-    return run_campaign(spec, store, processes=processes, limit=limit)
+
+def campaign_report(
+    spec: Any,
+    *,
+    store: ProfileStore,
+    reference: str | None = None,
+):
+    """Aggregate a campaign's ledger into the paper-style analysis.
+
+    Per ``app x machine`` group: mean/std/CV of durations over the
+    group's cells, relative errors of every counter against the
+    ``reference`` machine's means (default: the spec's first machine),
+    and the sampling-overhead columns.  Returns the
+    :class:`~repro.runtime.analyze.CampaignAnalysis`; render it with
+    ``.table()``, ``.to_dict()`` or ``.to_csv()``.
+    """
+    from repro.runtime.analyze import analyze_campaign  # noqa: PLC0415 (lazy)
+
+    return analyze_campaign(
+        _resolve_campaign_spec(spec), store, reference=reference
+    )
 
 
 def place(

@@ -16,7 +16,22 @@ from typing import Iterable
 from repro.core.samples import Profile
 from repro.core.statistics import ProfileStats
 
-__all__ = ["profile_to_csv", "stats_to_csv", "write_csv"]
+__all__ = ["profile_to_csv", "rows_to_csv", "stats_to_csv", "write_csv"]
+
+
+def rows_to_csv(headers: Iterable[str], rows: Iterable[Iterable[object]]) -> str:
+    """Render header + data rows as CSV text (generic table export).
+
+    Cells are written as given — pre-format floats (``repr`` for
+    round-trip precision) before calling.  Used by the campaign
+    analysis report's ``--format csv`` output.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
 
 
 def profile_to_csv(profile: Profile) -> str:
@@ -24,36 +39,29 @@ def profile_to_csv(profile: Profile) -> str:
     metric_names = sorted(
         {name for sample in profile.samples for name in sample.values}
     )
-    buffer = io.StringIO()
-    writer = csv.writer(buffer)
-    writer.writerow(["index", "t", "dt"] + metric_names)
-    for sample in profile.samples:
-        writer.writerow(
-            [sample.index, f"{sample.t:.6f}", f"{sample.dt:.6f}"]
-            + [repr(sample.values[m]) if m in sample.values else "" for m in metric_names]
-        )
-    return buffer.getvalue()
+    rows = (
+        [sample.index, f"{sample.t:.6f}", f"{sample.dt:.6f}"]
+        + [repr(sample.values[m]) if m in sample.values else "" for m in metric_names]
+        for sample in profile.samples
+    )
+    return rows_to_csv(["index", "t", "dt"] + metric_names, rows)
 
 
 def stats_to_csv(stats: ProfileStats) -> str:
     """Render aggregated statistics as CSV text (one row per metric)."""
-    buffer = io.StringIO()
-    writer = csv.writer(buffer)
-    writer.writerow(["metric", "n", "mean", "std", "ci99", "min", "max"])
-    for name in sorted(stats.metrics):
-        metric = stats.metrics[name]
-        writer.writerow(
-            [
-                name,
-                metric.n,
-                repr(metric.mean),
-                repr(metric.std),
-                repr(metric.ci99),
-                repr(metric.minimum),
-                repr(metric.maximum),
-            ]
-        )
-    return buffer.getvalue()
+    rows = (
+        [
+            name,
+            stats.metrics[name].n,
+            repr(stats.metrics[name].mean),
+            repr(stats.metrics[name].std),
+            repr(stats.metrics[name].ci99),
+            repr(stats.metrics[name].minimum),
+            repr(stats.metrics[name].maximum),
+        ]
+        for name in sorted(stats.metrics)
+    )
+    return rows_to_csv(["metric", "n", "mean", "std", "ci99", "min", "max"], rows)
 
 
 def write_csv(text: str, path: str | os.PathLike) -> None:

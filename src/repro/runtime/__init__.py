@@ -21,39 +21,59 @@ subsystem:
   ``predict.validate.validate_plan`` and the benchmark harness;
 * :mod:`repro.runtime.campaign` — a declarative sweep spec
   (apps x machines x seeds x repeats) expanded to requests and executed
-  with a resumable on-:class:`~repro.storage.base.ProfileStore` ledger.
+  with a resumable on-:class:`~repro.storage.base.ProfileStore` ledger;
+  ``run_campaign(spec, store, shard=(i, n))`` partitions the pending
+  cells by digest so several hosts sharing one store split a sweep,
+  with claim markers serialising overlapping invocations;
+* :mod:`repro.runtime.analyze` — aggregates a finished ledger into the
+  paper's consistency/error tables (``repro campaign --report``).
 """
 
 from __future__ import annotations
 
+from repro.runtime.analyze import CampaignAnalysis, analyze_campaign
 from repro.runtime.campaign import (
     CampaignCell,
     CampaignReport,
     CampaignSpec,
+    claims,
     completed_cells,
     ledger,
+    parse_shard,
     run_campaign,
+    shard_cells,
+    shard_index,
 )
 from repro.runtime.service import (
     ParallelFallbackWarning,
+    RunPolicy,
     RunRequest,
     RunResult,
     RunService,
+    RunTimeoutError,
     get_service,
     reset_service,
 )
 
 __all__ = [
+    "CampaignAnalysis",
     "CampaignCell",
     "CampaignReport",
     "CampaignSpec",
     "ParallelFallbackWarning",
+    "RunPolicy",
     "RunRequest",
     "RunResult",
     "RunService",
+    "RunTimeoutError",
+    "analyze_campaign",
+    "claims",
     "completed_cells",
     "get_service",
     "ledger",
+    "parse_shard",
     "reset_service",
     "run_campaign",
+    "shard_cells",
+    "shard_index",
 ]

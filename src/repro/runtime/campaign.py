@@ -27,40 +27,75 @@ Spec form (dict or JSON file)::
       "repeats": 2,                           // default 1
       "noisy": true,                          // default true
       "config": {"sample_rate": 2.0},         // SynapseConfig kwargs
-      "tags": {"experiment": "demo"}          // extra tags on every cell
+      "tags": {"experiment": "demo"},         // extra tags on every cell
+      "policy": {"retries": 1, "timeout": null, "backoff": 0.0}
     }
+
+Sharding (multi-host sweeps): ``run_campaign(spec, store, shard=(i, n))``
+deterministically partitions the *pending* cells by cell digest, so *n*
+hosts sharing one store ledger execute disjoint subsets — any shard's
+re-run completes only the union's missing cells, and an unsharded run
+finishes whatever is left.  Sharded invocations additionally *claim*
+their wave's cells in the ledger (lightweight marker documents tagged
+``claim=<digest>``) before executing them: two claim-checking
+invocations that overlap — the same shard restarted, racing shards —
+defer to the earlier claim instead of computing a cell twice.
+Unsharded runs skip the protocol by default (pass ``claim=True`` to
+opt in), so racing an unsharded run against a live shard can double-
+execute a cell.  Claims are deleted once their wave is stored;
+leftovers from a killed shard go stale after ``claim_ttl`` seconds and
+are ignored.  Because every cell's result derives only from its own
+identity, any double execution stores a bit-identical duplicate that
+resume and analysis dedupe by digest — ugly, never wrong.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import secrets
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.core.errors import ConfigError
-from repro.runtime.service import RunRequest, RunService, get_service
+from repro.core.samples import Profile
+from repro.runtime.service import RunPolicy, RunRequest, RunService, get_service
 from repro.util.tables import Table
 
 __all__ = [
     "CampaignCell",
     "CampaignReport",
     "CampaignSpec",
+    "claims",
     "completed_cells",
     "ledger",
+    "parse_shard",
     "run_campaign",
+    "shard_cells",
+    "shard_index",
 ]
 
 _KINDS = ("profile", "run")
 _SPEC_KEYS = frozenset(
-    {"name", "kind", "apps", "machines", "seeds", "repeats", "noisy", "config", "tags"}
+    {"name", "kind", "apps", "machines", "seeds", "repeats", "noisy", "config",
+     "tags", "policy"}
 )
 
 #: Cells stored per checkpoint wave: an interrupted sweep keeps every
 #: finished wave in the ledger and resumes from the next one.
 DEFAULT_CHECKPOINT = 8
+
+#: Command under which cell-claim markers are stored (kept distinct from
+#: every profilable command so claims never collide with real artifacts).
+CLAIM_COMMAND = "synapse:campaign-claim"
+
+#: Seconds a foreign claim stays live.  A claim older than this with no
+#: stored artifact belongs to a dead shard and is ignored; fresher ones
+#: mark a concurrent shard working the cell right now.
+DEFAULT_CLAIM_TTL = 900.0
 
 
 def _str_list(value: Any, what: str) -> tuple[str, ...]:
@@ -85,6 +120,7 @@ class CampaignSpec:
     noisy: bool = True
     config: dict[str, Any] = field(default_factory=dict)
     tags: dict[str, Any] = field(default_factory=dict)
+    policy: RunPolicy | None = None
 
     def __post_init__(self) -> None:
         if not self.name or any(c in self.name for c in "=,\n"):
@@ -97,6 +133,15 @@ class CampaignSpec:
             raise ConfigError("campaign repeats must be >= 1")
         if not self.seeds:
             raise ConfigError("campaign seeds must not be empty")
+        # Duplicates would expand to digest-identical cells: one stored
+        # artifact would then pose as several independent measurements
+        # (n inflated, std 0) in the campaign analysis.
+        for what, values in (
+            ("apps", self.apps), ("machines", self.machines),
+            ("seeds", self.seeds),
+        ):
+            if len(set(values)) != len(values):
+                raise ConfigError(f"campaign {what} must not contain duplicates")
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -105,6 +150,12 @@ class CampaignSpec:
             raise ConfigError(f"unknown campaign spec keys: {sorted(unknown)}")
         if "name" not in data or "apps" not in data or "machines" not in data:
             raise ConfigError("campaign specs need 'name', 'apps' and 'machines'")
+        policy = data.get("policy")
+        if policy is not None:
+            try:
+                policy = RunPolicy.from_dict(policy)
+            except ValueError as exc:
+                raise ConfigError(f"invalid campaign policy: {exc}") from exc
         return cls(
             name=str(data["name"]),
             apps=_str_list(data["apps"], "apps"),
@@ -115,6 +166,7 @@ class CampaignSpec:
             noisy=bool(data.get("noisy", True)),
             config=dict(data.get("config", {})),
             tags=dict(data.get("tags", {})),
+            policy=policy,
         )
 
     @classmethod
@@ -159,7 +211,9 @@ class CampaignCell:
         Hashes the cell coordinates plus every spec setting that
         influences the cell's stored artifact (kind, noisy, config,
         tags), so editing the spec invalidates — rather than silently
-        reuses — old cells.
+        reuses — old cells.  The run policy is deliberately *not*
+        hashed: retries/timeouts change how stubbornly a cell executes,
+        never what it produces.
         """
         payload = json.dumps(
             [
@@ -183,6 +237,7 @@ class CampaignCell:
             **self.spec.tags,
             "campaign": self.spec.name,
             "cell": self.digest,
+            "app": self.app,
             "machine": self.machine,
             "seed": self.seed,
             "rep": self.rep,
@@ -205,6 +260,7 @@ class CampaignCell:
                 tags=self.cell_tags(),
                 command=app.command(),
                 key=self.digest,
+                policy=self.spec.policy,
             )
         return RunRequest(
             kind="engine",
@@ -215,6 +271,7 @@ class CampaignCell:
             index=self.rep + 1,
             reduce=_engine_summary,
             key=self.digest,
+            policy=self.spec.policy,
             metadata={"command": app.command()},
         )
 
@@ -226,7 +283,6 @@ class CampaignCell:
         store and resume the same way.
         """
         from repro.apps.registry import parse_app  # noqa: PLC0415 (cycle)
-        from repro.core.samples import Profile  # noqa: PLC0415 (cycle)
         from repro.sim.machines import get_machine  # noqa: PLC0415 (cycle)
 
         if self.spec.kind == "profile":
@@ -263,10 +319,23 @@ class CampaignReport:
     failed: list[dict[str, str]] = field(default_factory=list)
     seconds: float = 0.0
     truncated: bool = False
+    #: ``"i/n"`` when this invocation executed one shard of the sweep.
+    shard: str | None = None
+    #: Pending cells this invocation was responsible for (the shard's
+    #: partition of the missing cells; equals ``total - skipped`` when
+    #: unsharded).
+    assigned: int = 0
+    #: Cells left to a concurrent invocation holding an earlier claim.
+    deferred: int = 0
 
     @property
     def remaining(self) -> int:
-        """Cells still missing from the ledger after this invocation."""
+        """Cells still missing from the ledger after this invocation.
+
+        Sweep-wide view: for a shard run this includes every other
+        shard's pending cells, so ``complete`` only turns true once the
+        *union* of shards has filled the ledger.
+        """
         return self.total - self.skipped - self.executed
 
     @property
@@ -284,41 +353,228 @@ class CampaignReport:
             "complete": self.complete,
             "seconds": self.seconds,
             "truncated": self.truncated,
+            "shard": self.shard,
+            "assigned": self.assigned,
+            "deferred": self.deferred,
         }
 
     def table(self) -> Table:
+        shard = f" shard {self.shard}" if self.shard is not None else ""
         table = Table(
-            ["cells", "skipped (ledger)", "executed", "failed", "remaining"],
+            ["cells", "skipped (ledger)", "executed", "failed", "deferred",
+             "remaining"],
             title=(
-                f"campaign {self.name!r}: "
+                f"campaign {self.name!r}{shard}: "
                 f"{'complete' if self.complete else 'partial'} "
                 f"in {self.seconds:.2f}s"
             ),
         )
         table.add_row(
-            [self.total, self.skipped, self.executed, len(self.failed), self.remaining]
+            [self.total, self.skipped, self.executed, len(self.failed),
+             self.deferred, self.remaining]
         )
         return table
 
 
-def completed_cells(store: Any, name: str) -> set[str]:
-    """Digests of all cells of campaign ``name`` already in the ledger."""
-    done: set[str] = set()
+def parse_shard(shard: Any) -> tuple[int, int]:
+    """Normalise a shard selector into ``(index, count)``.
+
+    Accepts an ``(index, count)`` pair or the CLI spelling ``"i/n"``.
+    """
+    if isinstance(shard, str):
+        head, sep, tail = shard.partition("/")
+        if not sep:
+            raise ConfigError(f"shard must look like 'i/n', not {shard!r}")
+        shard = (head, tail)
+    try:
+        index, count = shard
+        index, count = int(index), int(count)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"shard must be an (index, count) pair or 'i/n' string, not {shard!r}"
+        ) from exc
+    if count < 1 or not 0 <= index < count:
+        raise ConfigError(
+            f"shard index must satisfy 0 <= index < count, got {index}/{count}"
+        )
+    return index, count
+
+
+def shard_index(digest: str, count: int) -> int:
+    """Deterministic shard owning a cell digest (digests are hex)."""
+    return int(digest, 16) % count
+
+
+def shard_cells(cells: list[CampaignCell], shard: Any) -> list[CampaignCell]:
+    """The subset of ``cells`` that shard ``(index, count)`` executes.
+
+    Partitioning is by cell digest, so it is independent of execution
+    order, ledger state and which cells other shards have finished —
+    the property that makes *n* hosts sharing one store collision-free.
+    """
+    index, count = parse_shard(shard)
+    return [cell for cell in cells if shard_index(cell.digest, count) == index]
+
+
+def claims(store: Any, name: str) -> dict[str, list[tuple[float, str]]]:
+    """Live + stale claim markers of campaign ``name``.
+
+    Returns cell digest -> list of ``(created, owner)`` pairs, one per
+    marker.  Callers decide staleness (see ``claim_ttl``).
+    """
+    found: dict[str, list[tuple[float, str]]] = {}
+    for marker in store.find(CLAIM_COMMAND, tags=[f"campaign={name}"]):
+        digest = owner = None
+        for tag in marker.tags:
+            if tag.startswith("claim="):
+                digest = tag[len("claim="):]
+            elif tag.startswith("owner="):
+                owner = tag[len("owner="):]
+        if digest and owner:
+            found.setdefault(digest, []).append((marker.created, owner))
+    return found
+
+
+def _claim_wave(
+    store: Any,
+    name: str,
+    wave: list[CampaignCell],
+    owner: str,
+    ttl: float,
+    scan: bool = True,
+) -> tuple[list[CampaignCell], list[CampaignCell], list[str], bool]:
+    """Claim a wave's cells; returns ``(mine, deferred, claim_ids, rivals)``.
+
+    Writes one marker per cell, re-reads all markers, and keeps only the
+    cells whose earliest *live* claim is ours — ties and races resolve
+    deterministically on ``(created, owner)``.  Cells lost to an earlier
+    live claim are deferred (another invocation is computing them right
+    now); claims older than ``ttl`` belong to dead invocations and are
+    ignored.
+
+    ``scan=False`` skips the read-back (the caller saw no live foreign
+    claims recently): markers are still written so *rivals* defer to
+    us, but the wave runs unfiltered.  ``rivals`` reports whether any
+    live foreign claim was seen, letting the caller decide whether the
+    next wave needs a scan — the read-back walks the whole store, so
+    paying it per wave only makes sense while someone else is actually
+    in there.
+    """
+    now = time.time()
+    markers = [
+        Profile(
+            command=CLAIM_COMMAND,
+            tags={"campaign": name, "claim": cell.digest, "owner": owner},
+            info={"cell": cell.digest},
+            created=now,
+        )
+        for cell in wave
+    ]
+    claim_ids = list(store.put_many(markers))
+    if not scan:
+        return list(wave), [], claim_ids, False
+    try:
+        existing = claims(store, name)
+        if any(
+            now - entry[0] > ttl
+            for entries in existing.values()
+            for entry in entries
+        ):
+            _gc_stale_claims(store, name, ttl, now)
+        # Any live foreign claim — even on a cell outside this wave —
+        # means a concurrent invocation is active and later waves must
+        # keep scanning.
+        rivals = any(
+            entry[1] != owner and now - entry[0] <= ttl
+            for entries in existing.values()
+            for entry in entries
+        )
+        mine: list[CampaignCell] = []
+        deferred: list[CampaignCell] = []
+        for cell in wave:
+            live = [
+                entry for entry in existing.get(cell.digest, [])
+                if now - entry[0] <= ttl
+            ]
+            winner = min(live, default=(now, owner))
+            (mine if winner[1] == owner else deferred).append(cell)
+    except BaseException:
+        # The read-back died (store error mid-scan, Ctrl-C) before the
+        # caller could take ownership of claim_ids: delete our markers
+        # now or an immediate re-run defers to this invocation's corpse
+        # for a full claim_ttl.
+        _delete_claims(store, claim_ids)
+        raise
+    return mine, deferred, claim_ids, rivals
+
+
+def _delete_claims(store: Any, claim_ids: list[str]) -> None:
+    """Best-effort removal of this invocation's claim markers."""
+    delete = getattr(store, "delete", None)
+    if delete is None:
+        return
+    for pid in claim_ids:
+        try:
+            delete(pid)
+        except Exception:  # noqa: BLE001 - already gone / read-only store
+            pass
+
+
+def _gc_stale_claims(store: Any, name: str, ttl: float, now: float) -> None:
+    """Best-effort deletion of expired claim markers.
+
+    Hard-killed shards never clean up after themselves; without GC
+    their markers accumulate in a long-lived shared store forever (and
+    every claim scan re-parses them).  Only markers already ignored as
+    stale are touched, so this can never steal a live rival's claim.
+    """
+    if getattr(store, "delete", None) is None:
+        return
+    try:
+        stale = [
+            pid for pid, profile in store._iter_profiles()
+            if profile.command == CLAIM_COMMAND
+            and f"campaign={name}" in profile.tags
+            and now - profile.created > ttl
+        ]
+    except Exception:  # noqa: BLE001 - GC must never fail a wave
+        return
+    _delete_claims(store, stale)
+
+
+#: Cell digests are the first 16 hex chars of a SHA-256 (see
+#: :meth:`CampaignCell.digest`); anything else in a ``cell=`` tag is a
+#: corrupt/tampered entry and must not count as a completed cell.
+_DIGEST_CHARS = frozenset("0123456789abcdef")
+
+
+def _is_cell_digest(text: str) -> bool:
+    return len(text) == 16 and set(text) <= _DIGEST_CHARS
+
+
+def _iter_ledger(store: Any, name: str):
+    """Yield ``(digest, profile)`` for every well-formed ledger entry.
+
+    Entries whose ``cell=`` tag is missing, empty or malformed are
+    skipped: they can never correspond to a spec cell, so treating them
+    as completed would silently drop cells from a resumed sweep.
+    """
     for profile in store.find(tags=[f"campaign={name}"]):
         for tag in profile.tags:
             if tag.startswith("cell="):
-                done.add(tag[len("cell="):])
-    return done
+                digest = tag[len("cell="):]
+                if _is_cell_digest(digest):
+                    yield digest, profile
+
+
+def completed_cells(store: Any, name: str) -> set[str]:
+    """Digests of all cells of campaign ``name`` already in the ledger."""
+    return {digest for digest, _profile in _iter_ledger(store, name)}
 
 
 def ledger(store: Any, name: str) -> dict[str, Any]:
     """The campaign's ledger: cell digest -> stored artifact profile."""
-    entries: dict[str, Any] = {}
-    for profile in store.find(tags=[f"campaign={name}"]):
-        for tag in profile.tags:
-            if tag.startswith("cell="):
-                entries[tag[len("cell="):]] = profile
-    return entries
+    return dict(_iter_ledger(store, name))
 
 
 def run_campaign(
@@ -328,6 +584,9 @@ def run_campaign(
     service: RunService | None = None,
     limit: int | None = None,
     checkpoint: int = DEFAULT_CHECKPOINT,
+    shard: Any = None,
+    claim: bool | None = None,
+    claim_ttl: float = DEFAULT_CLAIM_TTL,
 ) -> CampaignReport:
     """Execute (or resume) a campaign sweep against its store ledger.
 
@@ -338,47 +597,81 @@ def run_campaign(
     missing cells.  ``limit`` caps the cells executed in this
     invocation (handy for smoke tests and incremental sweeps); failures
     are recorded in the report, never stored as completed cells.
+
+    ``shard=(i, n)`` (or ``"i/n"``) restricts this invocation to its
+    digest-assigned partition of the pending cells so *n* hosts sharing
+    one store divide the sweep; see the module docstring.  ``claim``
+    toggles the wave-level cell claiming that serialises overlapping
+    invocations (default: on exactly when sharded); ``claim_ttl`` is
+    how long a foreign claim defers a cell before it is presumed dead.
     """
     if not isinstance(spec, CampaignSpec):
         spec = CampaignSpec.from_dict(spec)
     svc = service if service is not None else get_service()
+    shard_id = None if shard is None else parse_shard(shard)
+    use_claims = claim if claim is not None else shard_id is not None
+    owner = f"{os.getpid():x}-{secrets.token_hex(4)}"
     cells = spec.cells()
     done = completed_cells(store, spec.name)
     pending = [cell for cell in cells if cell.digest not in done]
     skipped = len(cells) - len(pending)
+    if shard_id is not None:
+        pending = shard_cells(pending, shard_id)
+    assigned = len(pending)
     truncated = False
     if limit is not None and len(pending) > limit:
         pending = pending[: max(0, limit)]
         truncated = True
 
     executed = 0
+    deferred = 0
     failures: list[dict[str, str]] = []
     start = time.perf_counter()
+    # The first claimed wave always scans for rivals; later waves only
+    # keep paying the store-wide read-back while rivals are actually
+    # live.  A rival appearing *after* scanning stops goes unseen — the
+    # worst case is a duplicate, bit-identical artifact, which resume
+    # and analysis dedupe by digest.
+    scan_claims = True
     for wave_start in range(0, len(pending), max(1, checkpoint)):
         wave = pending[wave_start : wave_start + max(1, checkpoint)]
-        requests, runnable = [], []
-        for cell in wave:
-            try:
-                requests.append(cell.to_request())
-                runnable.append(cell)
-            except Exception as exc:  # unknown app spec, bad config, ...
-                failures.append(
-                    {"cell": cell.digest, "app": cell.app, "machine": cell.machine,
-                     "error": repr(exc)}
-                )
-        results = svc.run(requests, processes=processes, rethrow=False)
-        artifacts = []
-        for cell, result in zip(runnable, results):
-            if result.ok:
-                artifacts.append(cell.artifact(result.value))
-                executed += 1
-            else:
-                failures.append(
-                    {"cell": cell.digest, "app": cell.app, "machine": cell.machine,
-                     "error": result.error or "unknown error"}
-                )
-        if artifacts:
-            store.put_many(artifacts)
+        claim_ids: list[str] = []
+        if use_claims:
+            wave, lost, claim_ids, rivals = _claim_wave(
+                store, spec.name, wave, owner, claim_ttl, scan=scan_claims
+            )
+            scan_claims = rivals
+            deferred += len(lost)
+        try:
+            requests, runnable = [], []
+            for cell in wave:
+                try:
+                    requests.append(cell.to_request())
+                    runnable.append(cell)
+                except Exception as exc:  # unknown app spec, bad config, ...
+                    failures.append(
+                        {"cell": cell.digest, "app": cell.app,
+                         "machine": cell.machine, "error": repr(exc)}
+                    )
+            results = svc.run(requests, processes=processes, rethrow=False)
+            artifacts = []
+            for cell, result in zip(runnable, results):
+                if result.ok:
+                    artifacts.append(cell.artifact(result.value))
+                    executed += 1
+                else:
+                    failures.append(
+                        {"cell": cell.digest, "app": cell.app,
+                         "machine": cell.machine,
+                         "error": result.error or "unknown error"}
+                    )
+            if artifacts:
+                store.put_many(artifacts)
+        finally:
+            # Claims outlive an invocation only when it is killed hard
+            # (no chance to clean up) — exactly the case claim_ttl
+            # staleness exists for.
+            _delete_claims(store, claim_ids)
 
     return CampaignReport(
         name=spec.name,
@@ -388,4 +681,7 @@ def run_campaign(
         failed=failures,
         seconds=time.perf_counter() - start,
         truncated=truncated,
+        shard=None if shard_id is None else f"{shard_id[0]}/{shard_id[1]}",
+        assigned=assigned,
+        deferred=deferred,
     )

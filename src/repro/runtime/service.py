@@ -31,9 +31,11 @@ from repro.core.multiproc import ParallelFallbackWarning, _serial_map, get_share
 
 __all__ = [
     "ParallelFallbackWarning",
+    "RunPolicy",
     "RunRequest",
     "RunResult",
     "RunService",
+    "RunTimeoutError",
     "get_service",
     "reset_service",
 ]
@@ -41,6 +43,76 @@ __all__ = [
 #: Request kinds the service knows how to execute (see
 #: :mod:`repro.runtime.execute` for their semantics).
 KINDS = ("engine", "profile", "emulate", "call")
+
+
+class RunTimeoutError(Exception):
+    """An attempt exceeded its :class:`RunPolicy` timeout budget.
+
+    Raised (and captured into the :class:`RunResult`) *after* the
+    attempt returns: the service cannot preempt arbitrary Python code
+    in-process, but a policy timeout guarantees an over-budget cell is
+    classified as failed — and retried or surfaced — instead of being
+    silently accepted, so a slow cell fails a campaign shard gracefully
+    rather than poisoning its wave.
+    """
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Per-request retry/timeout policy.
+
+    Attributes
+    ----------
+    retries:
+        Re-attempts after the first failure (0 = single attempt).
+    timeout:
+        Per-attempt wall-clock budget in seconds; an attempt that takes
+        longer counts as failed with :class:`RunTimeoutError` (checked
+        post-attempt, see there).  ``None`` disables the budget.
+    backoff:
+        Base sleep between attempts: attempt *k* (1-based) is followed
+        by ``backoff * k`` seconds before the next attempt (linear
+        backoff; 0 retries immediately).
+    """
+
+    retries: int = 0
+    timeout: float | None = None
+    backoff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("RunPolicy retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("RunPolicy timeout must be positive (or None)")
+        if self.backoff < 0:
+            raise ValueError("RunPolicy backoff must be >= 0")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts this policy allows."""
+        return self.retries + 1
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RunPolicy":
+        """Build a policy from a spec mapping (campaign JSON specs)."""
+        if isinstance(data, RunPolicy):
+            return data
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"run policy must be a mapping, not {type(data).__name__}"
+            )
+        unknown = set(data) - {"retries", "timeout", "backoff"}
+        if unknown:
+            raise ValueError(f"unknown run policy keys: {sorted(unknown)}")
+        timeout = data.get("timeout")
+        try:
+            return cls(
+                retries=int(data.get("retries", 0)),
+                timeout=float(timeout) if timeout is not None else None,
+                backoff=float(data.get("backoff", 0.0)),
+            )
+        except TypeError as exc:  # non-numeric values -> one error type
+            raise ValueError(f"invalid run policy values: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -88,6 +160,13 @@ class RunRequest:
         meaningfully picklable).
     key:
         Caller-assigned identity (campaign cell digest, machine name).
+    policy:
+        Optional :class:`RunPolicy` — per-request retries, per-attempt
+        timeout budget and backoff.  Applied where the request executes
+        (inside the worker for pooled requests), so retries never
+        re-ship payloads.  Determinism is preserved: each attempt draws
+        the same request-derived noise stream, so a retried success is
+        bit-identical to a first-attempt one.
     metadata:
         Free-form extras; not interpreted by the service.
     """
@@ -106,6 +185,7 @@ class RunRequest:
     runner: Callable[[], Any] | None = None
     backend: Any = None
     key: str | None = None
+    policy: RunPolicy | None = None
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -137,7 +217,9 @@ class RunResult:
     request: RunRequest
     ok: bool
     value: Any = None
-    #: ``repr`` of the raised exception when ``ok`` is False.
+    #: Failure description when ``ok`` is False: the request context
+    #: followed by the exception, e.g.
+    #: ``"profile request key=<digest> (attempt 2/2): ValueError(...)"``.
     error: str | None = None
     #: Wall-clock execution time of this request (seconds, as measured
     #: where it ran — inside the worker for pooled requests).
@@ -203,18 +285,75 @@ def _run_chunk(payload: bytes) -> list[tuple[bool, Any]]:
             _install_shared(previous)
 
 
-def _execute_packed(item: tuple[RunRequest, int, int]) -> tuple[bool, float, Any]:
-    """Execute one packed request against the shared target/machine tables."""
+def _attempt_request(
+    request: RunRequest, target: Any, machine: Any
+) -> tuple[bool, float, Any, int]:
+    """Execute one request under its policy.
+
+    Returns ``(ok, seconds, value_or_exception, attempt)`` where
+    ``attempt`` is the 1-based attempt that produced the outcome and
+    ``seconds`` covers all attempts including backoff sleeps.  Failed
+    attempts retry up to ``policy.retries`` times; an attempt exceeding
+    ``policy.timeout`` counts as failed with :class:`RunTimeoutError`.
+    """
     from repro.runtime.execute import dispatch  # noqa: PLC0415 (cycle)
 
+    policy = request.policy if request.policy is not None else RunPolicy()
+    start = time.perf_counter()
+    outcome: Any = None
+    for attempt in range(1, policy.attempts + 1):
+        attempt_start = time.perf_counter()
+        try:
+            value = dispatch(request, target, machine)
+            elapsed = time.perf_counter() - attempt_start
+            if policy.timeout is not None and elapsed > policy.timeout:
+                raise RunTimeoutError(
+                    f"attempt took {elapsed:.3f}s, over the "
+                    f"{policy.timeout:g}s policy timeout"
+                )
+            return True, time.perf_counter() - start, value, attempt
+        except Exception as exc:  # noqa: BLE001 - surfaced as RunResult / re-raised
+            outcome = exc
+            if attempt < policy.attempts and policy.backoff > 0:
+                time.sleep(policy.backoff * attempt)
+    return False, time.perf_counter() - start, outcome, policy.attempts
+
+
+def _failure_context(request: RunRequest, attempt: int) -> str:
+    """Human-readable request identity for failure messages.
+
+    Surfaces what a bare traceback loses once a request has crossed the
+    pool: the request kind, the caller-assigned key (a campaign's cell
+    digest) and which attempt of the policy budget failed.
+    """
+    policy = request.policy if request.policy is not None else RunPolicy()
+    key = f" key={request.key}" if request.key is not None else ""
+    return f"{request.kind} request{key} (attempt {attempt}/{policy.attempts})"
+
+
+def _failure_message(request: RunRequest, exc: BaseException, attempt: int) -> str:
+    return f"{_failure_context(request, attempt)}: {exc!r}"
+
+
+def _rethrow(request: RunRequest, exc: BaseException, attempt: int) -> None:
+    """Re-raise a request's exception, annotated with its context.
+
+    The original exception type is preserved (callers match on it); the
+    request context travels as an exception note where the runtime
+    supports them (3.11+).
+    """
+    if hasattr(exc, "add_note"):
+        exc.add_note(f"while executing {_failure_context(request, attempt)}")
+    raise exc
+
+
+def _execute_packed(
+    item: tuple[RunRequest, int, int]
+) -> tuple[bool, float, Any, int]:
+    """Execute one packed request against the shared target/machine tables."""
     request, target_slot, machine_slot = item
     targets, machines = get_shared()
-    start = time.perf_counter()
-    try:
-        value = dispatch(request, targets[target_slot], machines[machine_slot])
-        return True, time.perf_counter() - start, value
-    except Exception as exc:  # noqa: BLE001 - surfaced as RunResult / re-raised
-        return False, time.perf_counter() - start, exc
+    return _attempt_request(request, targets[target_slot], machines[machine_slot])
 
 
 class RunService:
@@ -377,14 +516,14 @@ class RunService:
             outcomes = self.map(
                 _execute_packed, items, processes=processes, shared=(targets, machines)
             )
-            for i, (ok, seconds, value) in zip(pooled, outcomes):
+            for i, (ok, seconds, value, attempt) in zip(pooled, outcomes):
                 if not ok and rethrow:
-                    raise value
+                    _rethrow(requests[i], value, attempt)
                 results[i] = RunResult(
                     request=requests[i],
                     ok=ok,
                     value=value if ok else None,
-                    error=None if ok else repr(value),
+                    error=None if ok else _failure_message(requests[i], value, attempt),
                     seconds=seconds,
                 )
         for i, request in enumerate(requests):
@@ -394,22 +533,18 @@ class RunService:
 
     @staticmethod
     def _execute_local(request: RunRequest, rethrow: bool) -> RunResult:
-        from repro.runtime.execute import dispatch  # noqa: PLC0415 (cycle)
-
-        start = time.perf_counter()
-        try:
-            value = dispatch(request, request.target, request.machine)
-            return RunResult(
-                request=request, ok=True, value=value,
-                seconds=time.perf_counter() - start,
-            )
-        except Exception as exc:
-            if rethrow:
-                raise
-            return RunResult(
-                request=request, ok=False, error=repr(exc),
-                seconds=time.perf_counter() - start,
-            )
+        ok, seconds, value, attempt = _attempt_request(
+            request, request.target, request.machine
+        )
+        if ok:
+            return RunResult(request=request, ok=True, value=value, seconds=seconds)
+        if rethrow:
+            _rethrow(request, value, attempt)
+        return RunResult(
+            request=request, ok=False,
+            error=_failure_message(request, value, attempt),
+            seconds=seconds,
+        )
 
 
 def _pack(

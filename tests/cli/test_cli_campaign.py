@@ -1,7 +1,8 @@
-"""CLI campaign command and deterministic registry listings."""
+"""CLI campaign command (run, shard, report) and registry listings."""
 
 from __future__ import annotations
 
+import csv
 import io
 import json
 
@@ -72,6 +73,137 @@ class TestCampaignCommand:
     def test_missing_spec_file_errors(self, tmp_path):
         code, _ = run_cli("campaign", str(tmp_path / "nope.json"))
         assert code == 1
+
+
+class TestShardFlag:
+    def test_shards_split_and_complete_the_sweep(self, tmp_path):
+        store = f"file://{tmp_path / 'store'}"
+        spec = _spec_file(tmp_path)
+        summaries = []
+        for shard in ("0/2", "1/2"):
+            out = tmp_path / f"shard-{shard.replace('/', '-')}.json"
+            code, text = run_cli(
+                "--store", store, "campaign", spec,
+                "--shard", shard, "--json", str(out),
+            )
+            assert code == 0
+            assert f"shard {shard}" in text
+            summaries.append(json.loads(out.read_text(encoding="utf-8")))
+        assert [doc["shard"] for doc in summaries] == ["0/2", "1/2"]
+        assert sum(doc["executed"] for doc in summaries) == 4
+        assert summaries[-1]["complete"]
+
+    def test_invalid_shard_errors(self, tmp_path):
+        code, _ = run_cli("campaign", _spec_file(tmp_path), "--shard", "2/2")
+        assert code == 1
+        code, _ = run_cli("campaign", _spec_file(tmp_path), "--shard", "nope")
+        assert code == 1
+
+    def test_mode_dependent_flags_fail_fast(self, tmp_path, capsys):
+        """Report-only / shard-only flags outside their mode must error,
+        not silently run (or skip) a sweep."""
+        spec = _spec_file(tmp_path)
+        code, _ = run_cli("campaign", spec, "--format", "json")
+        assert code == 2
+        assert "require --report" in capsys.readouterr().err
+        code, _ = run_cli("campaign", spec, "--reference", "comet")
+        assert code == 2
+        code, _ = run_cli("campaign", spec, "--claim-ttl", "60")
+        assert code == 2
+        assert "requires --shard" in capsys.readouterr().err
+        code, _ = run_cli("campaign", spec, "--report", "--shard", "0/2")
+        assert code == 2
+        assert "--report does not execute" in capsys.readouterr().err
+
+
+class TestCampaignReport:
+    def _finished(self, tmp_path) -> tuple[str, str]:
+        store = f"file://{tmp_path / 'store'}"
+        spec = _spec_file(tmp_path, seeds=[0, 1])
+        assert run_cli("--store", store, "campaign", spec)[0] == 0
+        return store, spec
+
+    def test_table_report(self, tmp_path):
+        store, spec = self._finished(tmp_path)
+        code, text = run_cli("--store", store, "campaign", spec, "--report")
+        assert code == 0
+        assert "campaign 'cli-camp': consistency/error vs reference 'thinkie'" in text
+        assert "8/8 cells" in text
+        assert "Tx CV %" in text and "err max %" in text
+        for name in ("sleeper:sleep_seconds=1", "gromacs:iterations=20000",
+                     "thinkie", "comet"):
+            assert name in text
+
+    def test_json_report(self, tmp_path):
+        store, spec = self._finished(tmp_path)
+        code, text = run_cli(
+            "--store", store, "campaign", spec, "--report", "--format", "json"
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["complete"] is True and doc["present_cells"] == 8
+        assert len(doc["groups"]) == 4
+        assert doc["groups"][0]["metrics"]["tx"]["n"] == 2
+
+    def test_csv_report(self, tmp_path):
+        store, spec = self._finished(tmp_path)
+        code, text = run_cli(
+            "--store", store, "campaign", spec, "--report", "--format", "csv"
+        )
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert {row["machine"] for row in rows} == {"thinkie", "comet"}
+        assert any(row["metric"] == "tx" for row in rows)
+
+    def test_json_flag_receives_the_analysis(self, tmp_path):
+        store, spec = self._finished(tmp_path)
+        out = tmp_path / "analysis.json"
+        code, text = run_cli(
+            "--store", store, "campaign", spec, "--report", "--json", str(out)
+        )
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["complete"] is True and len(doc["groups"]) == 4
+        # stdout still carries the rendered table.
+        assert "consistency/error" in text
+
+    def test_reference_flag(self, tmp_path):
+        store, spec = self._finished(tmp_path)
+        code, text = run_cli(
+            "--store", store, "campaign", spec, "--report",
+            "--reference", "comet",
+        )
+        assert code == 0
+        assert "vs reference 'comet'" in text
+        code, _ = run_cli(
+            "--store", store, "campaign", spec, "--report",
+            "--reference", "titan",
+        )
+        assert code == 1
+
+    def test_empty_ledger_report_errors(self, tmp_path, capsys):
+        spec = _spec_file(tmp_path)
+        code, text = run_cli(
+            "--store", f"file://{tmp_path / 'empty'}", "campaign", spec,
+            "--report",
+        )
+        assert code == 1
+        assert text == ""
+        assert "no completed cells" in capsys.readouterr().err
+
+    def test_partial_ledger_report_warns_but_renders(self, tmp_path, capsys):
+        store = f"file://{tmp_path / 'store'}"
+        spec = _spec_file(tmp_path)
+        run_cli("--store", store, "campaign", spec, "--limit", "2")
+        capsys.readouterr()  # drop the run's own output
+        code, text = run_cli(
+            "--store", store, "campaign", spec, "--report", "--format", "json"
+        )
+        assert code == 0
+        # The warning goes to stderr so machine formats stay parseable.
+        assert "ledger incomplete (2/4 cells)" in capsys.readouterr().err
+        doc = json.loads(text)
+        assert doc["complete"] is False and doc["present_cells"] == 2
 
 
 def _listed_names(text: str) -> list[str]:

@@ -1,0 +1,32 @@
+"""Shared helpers for the runtime test modules.
+
+The campaign determinism and fault-injection suites all compare ledgers
+for bit-identity; the scrub list of transient per-run fields lives here
+once so a future addition (another pid-like entry) cannot silently make
+only *some* comparisons flaky.
+"""
+
+from __future__ import annotations
+
+
+def comparable_profile(profile) -> dict:
+    """Profile dict minus transient run identity.
+
+    ``created`` is a wall-clock stamp and the virtual pid is a
+    process-global counter — both differ between any two executions
+    (exactly like a real OS pid would); everything measured is kept.
+    """
+    data = profile.to_dict()
+    data.pop("created")
+    data.get("info", {}).get("process", {}).pop("pid", None)
+    return data
+
+
+def ledger_dict(store, name: str) -> dict:
+    """The campaign ledger in comparable form: digest -> scrubbed dict."""
+    from repro.runtime import ledger
+
+    return {
+        digest: comparable_profile(profile)
+        for digest, profile in ledger(store, name).items()
+    }

@@ -1,0 +1,210 @@
+"""Campaign analysis (``repro.runtime.analyze``): ledger → paper tables."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+
+import pytest
+
+from repro.core.errors import SynapseError
+from repro.runtime import (
+    CampaignSpec,
+    analyze_campaign,
+    ledger,
+    run_campaign,
+)
+from repro.storage.base import MemoryStore
+
+SPEC = {
+    "name": "an-camp",
+    "kind": "profile",
+    "apps": ["gromacs:iterations=20000", "sleeper:sleep_seconds=1"],
+    "machines": ["thinkie", "comet"],
+    "seeds": [0, 1, 2],
+    "repeats": 2,
+    "config": {"sample_rate": 2.0},
+}
+
+
+@pytest.fixture(scope="module")
+def finished():
+    spec = CampaignSpec.from_dict(SPEC)
+    store = MemoryStore()
+    assert run_campaign(spec, store).complete
+    return spec, store
+
+
+class TestGroupStatistics:
+    def test_group_layout(self, finished):
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        assert analysis.complete
+        assert analysis.present_cells == spec.n_cells
+        assert len(analysis.groups) == len(spec.apps) * len(spec.machines)
+        for group in analysis.groups:
+            assert group.present == group.expected == 6  # 3 seeds x 2 repeats
+
+    def test_tx_stats_match_manual_aggregation(self, finished):
+        """Mean/std/CV of a group's durations equal the textbook values
+        computed straight off the ledger."""
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        app, machine = spec.apps[0], spec.machines[1]
+        txs = [
+            profile.tx for profile in ledger(store, spec.name).values()
+            if f"app={app}" in profile.tags and f"machine={machine}" in profile.tags
+        ]
+        assert len(txs) == 6
+        mean = sum(txs) / len(txs)
+        std = math.sqrt(sum((t - mean) ** 2 for t in txs) / (len(txs) - 1))
+        line = analysis.group(app, machine).tx
+        assert line.mean == pytest.approx(mean)
+        assert line.std == pytest.approx(std)
+        assert line.cv_pct == pytest.approx(100.0 * std / mean)
+        # Simulated noise scatter is small but real.
+        assert 0.0 < line.cv_pct < 10.0
+
+    def test_reference_group_has_zero_errors(self, finished):
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        for app in spec.apps:
+            errors = analysis.group(app, analysis.reference).counter_errors()
+            assert errors and all(err == 0.0 for err in errors.values())
+
+    def test_derived_metrics_join_the_report(self, finished):
+        """Aggregation rides on core.statistics.aggregate, so the §4.3
+        derived metrics appear as lines exactly like `repro stats`."""
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        metrics = analysis.group(spec.apps[0], "thinkie").metrics
+        assert "cpu.ipc" in metrics and "cpu.flop_rate" in metrics
+        assert metrics["cpu.ipc"].err_pct == 0.0  # reference group
+
+    def test_machine_independent_counters_have_small_errors(self, finished):
+        """Instruction/IO demands do not depend on the machine model, so
+        their cross-machine error is pure measurement noise."""
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        group = analysis.group(spec.apps[0], "comet")
+        errors = group.counter_errors()
+        assert errors["cpu.instructions"] < 2.0
+        assert errors["io.bytes_read"] < 2.0
+
+    def test_reference_machine_selection(self, finished):
+        spec, store = finished
+        analysis = analyze_campaign(spec, store, reference="comet")
+        assert analysis.reference == "comet"
+        for app in spec.apps:
+            errors = analysis.group(app, "comet").counter_errors()
+            assert all(err == 0.0 for err in errors.values())
+        with pytest.raises(SynapseError, match="not part of the campaign"):
+            analyze_campaign(spec, store, reference="titan")
+
+    def test_sampling_overhead_columns(self, finished):
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        for group in analysis.groups:
+            assert group.sample_rate == 2.0
+            assert group.samples_mean > 0
+            # Sim-plane profiling is overhead-free by construction
+            # (E.1's "negligible overhead", exactly reproduced).
+            assert group.overhead_pct == pytest.approx(0.0, abs=1e-9)
+
+
+class TestLedgerStates:
+    def test_empty_ledger_raises(self):
+        spec = CampaignSpec.from_dict(SPEC)
+        with pytest.raises(SynapseError, match="no completed cells"):
+            analyze_campaign(spec, MemoryStore())
+
+    def test_partial_ledger_analyses_present_cells(self):
+        spec = CampaignSpec.from_dict(SPEC)
+        store = MemoryStore()
+        run_campaign(spec, store, limit=7)
+        analysis = analyze_campaign(spec, store)
+        assert not analysis.complete
+        assert analysis.present_cells == 7
+        populated = [g for g in analysis.groups if g.present]
+        assert populated and all(g.metrics for g in populated)
+        # Empty groups render as placeholder rows, not crashes.
+        rendered = analysis.table().render()
+        assert "7/24" in rendered
+
+
+class TestRenderings:
+    def test_table_lists_every_group(self, finished):
+        spec, store = finished
+        text = analyze_campaign(spec, store).table().render()
+        for app in spec.apps:
+            assert app in text
+        for machine in spec.machines:
+            assert machine in text
+        assert "Tx CV %" in text and "err max %" in text
+
+    def test_json_roundtrip(self, finished):
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        doc = json.loads(analysis.to_json())
+        assert doc["campaign"] == spec.name
+        assert doc["complete"] is True
+        assert len(doc["groups"]) == 4
+        group = doc["groups"][0]
+        assert group["metrics"]["tx"]["n"] == 6
+        assert group["metrics"]["cpu.instructions"]["err_pct"] == 0.0
+
+    def test_csv_long_form(self, finished):
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        rows = list(csv.DictReader(io.StringIO(analysis.to_csv())))
+        assert rows[0].keys() == {
+            "app", "machine", "metric", "n", "mean", "std", "cv_pct",
+            "ref_mean", "err_pct",
+        }
+        # One row per metric per populated group; tx always present.
+        tx_rows = [r for r in rows if r["metric"] == "tx"]
+        assert len(tx_rows) == 4
+        assert all(float(r["mean"]) > 0 for r in tx_rows)
+
+    def test_infinite_errors_headline_the_row(self):
+        """A counter that is zero on the reference but nonzero elsewhere
+        is the most divergent metric: it must name the row's worst
+        counter as 'inf', not silently vanish from the summary."""
+        from repro.core.statistics import _stats_from_values
+        from repro.runtime.analyze import CampaignAnalysis, GroupStats, _line
+
+        group = GroupStats(app="a", machine="m", expected=1, present=1)
+        group.metrics = {
+            "tx": _line(_stats_from_values("tx", [1.0]), 1.0),
+            "cpu.instructions": _line(
+                _stats_from_values("cpu.instructions", [10.0]), 10.0
+            ),
+            "io.bytes_read": _line(
+                _stats_from_values("io.bytes_read", [5.0]), 0.0  # ref is 0
+            ),
+        }
+        analysis = CampaignAnalysis(
+            name="inf", kind="profile", reference="ref",
+            groups=[group], expected_cells=1, present_cells=1,
+        )
+        assert group.counter_errors()["io.bytes_read"] == float("inf")
+        rendered = analysis.table().render()
+        row = rendered.splitlines()[-1]
+        assert "io.bytes_read" in row and "inf" in row
+        # The JSON form stays strictly parseable: the infinite error
+        # travels as the string "inf", never as an 'Infinity' token.
+        doc = json.loads(analysis.to_json())
+        metrics = doc["groups"][0]["metrics"]
+        assert metrics["io.bytes_read"]["err_pct"] == "inf"
+        assert metrics["cpu.instructions"]["err_pct"] == 0.0
+
+    def test_render_dispatch(self, finished):
+        spec, store = finished
+        analysis = analyze_campaign(spec, store)
+        assert analysis.render("table") == analysis.table().render()
+        assert analysis.render("json") == analysis.to_json()
+        assert analysis.render("csv") == analysis.to_csv()
+        with pytest.raises(SynapseError, match="unknown report format"):
+            analysis.render("yaml")

@@ -16,6 +16,8 @@ from repro.runtime import (
 )
 from repro.storage.base import MemoryStore
 
+from tests.runtime.conftest import comparable_profile as _comparable
+
 SPEC = {
     "name": "camp",
     "kind": "profile",
@@ -25,19 +27,6 @@ SPEC = {
     "repeats": 1,
     "config": {"sample_rate": 2.0},
 }
-
-
-def _comparable(profile) -> dict:
-    """Profile dict minus transient run identity.
-
-    ``created`` is a wall-clock stamp and the virtual pid is a
-    process-global counter — both differ between any two executions
-    (exactly like a real OS pid would); everything measured is kept.
-    """
-    data = profile.to_dict()
-    data.pop("created")
-    data.get("info", {}).get("process", {}).pop("pid", None)
-    return data
 
 
 class TestSpec:
@@ -64,6 +53,16 @@ class TestSpec:
         tagged = CampaignSpec.from_dict({**SPEC, "tags": {"experiment": "a"}})
         retagged = CampaignSpec.from_dict({**SPEC, "tags": {"experiment": "b"}})
         assert tagged.cells()[0].digest != retagged.cells()[0].digest
+
+    def test_duplicate_entries_rejected(self):
+        """Duplicate apps/machines/seeds would expand to digest-identical
+        cells — one artifact posing as several measurements."""
+        with pytest.raises(ConfigError, match="seeds must not contain duplicates"):
+            CampaignSpec.from_dict({**SPEC, "seeds": [0, 0]})
+        with pytest.raises(ConfigError, match="apps must not contain duplicates"):
+            CampaignSpec.from_dict({**SPEC, "apps": ["sleeper", "sleeper"]})
+        with pytest.raises(ConfigError, match="machines must not contain"):
+            CampaignSpec.from_dict({**SPEC, "machines": ["thinkie", "thinkie"]})
 
     def test_unknown_keys_rejected(self):
         with pytest.raises(ConfigError, match="unknown campaign spec keys"):

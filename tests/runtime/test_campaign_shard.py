@@ -1,0 +1,197 @@
+"""Sharded campaign execution: determinism regressions.
+
+The sharding contract: n hosts sharing one store ledger execute
+disjoint digest-assigned partitions of the pending cells, and the union
+of the shards produces a ledger *bit-identical* (profile contents,
+digests and noise streams) to an unsharded run of the same spec.  The
+noise-seed derivation feeding that guarantee is pinned against a
+committed golden fixture — a change to either the cell-digest scheme or
+``seed_from`` fails these tests instead of silently invalidating every
+stored ledger.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.runtime import (
+    CampaignSpec,
+    analyze_campaign,
+    ledger,
+    parse_shard,
+    run_campaign,
+    shard_cells,
+    shard_index,
+)
+from repro.storage import FileStore
+from repro.storage.base import MemoryStore
+
+from tests.runtime.conftest import ledger_dict as _ledger_dict
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = json.loads(
+    (FIXTURES / "campaign_seed_golden.json").read_text(encoding="utf-8")
+)
+SPEC = GOLDEN["spec"]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Unsharded reference run of the golden spec (shared; read-only)."""
+    spec = CampaignSpec.from_dict(SPEC)
+    store = MemoryStore()
+    report = run_campaign(spec, store)
+    assert report.complete
+    return spec, store
+
+
+class TestShardSelectors:
+    def test_parse_shard_forms(self):
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard((1, 3)) == (1, 3)
+        assert parse_shard(["2", "4"]) == (2, 4)
+
+    def test_parse_shard_rejects_garbage(self):
+        for bad in ("0:2", "1", "a/b", (1,), (2, 2), (-1, 2), (0, 0)):
+            with pytest.raises(ConfigError):
+                parse_shard(bad)
+
+    def test_partition_is_disjoint_and_total(self):
+        cells = CampaignSpec.from_dict(SPEC).cells()
+        for count in (2, 3, 5):
+            parts = [shard_cells(cells, (i, count)) for i in range(count)]
+            digests = [c.digest for part in parts for c in part]
+            assert sorted(digests) == sorted(c.digest for c in cells)
+            assert len(set(digests)) == len(digests)
+
+    def test_partition_is_digest_stable(self):
+        """Assignment depends only on the digest — not on list order."""
+        cells = CampaignSpec.from_dict(SPEC).cells()
+        forward = [c.digest for c in shard_cells(cells, (0, 2))]
+        backward = [c.digest for c in shard_cells(list(reversed(cells)), (0, 2))]
+        assert sorted(forward) == sorted(backward)
+        for cell in cells:
+            assert shard_index(cell.digest, 2) in (0, 1)
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("count", [2, 3])
+    def test_shards_reproduce_unsharded_ledger(self, reference, count):
+        """The acceptance scenario: all shards executed sequentially
+        in-process against one store produce a ledger — and a report —
+        identical to the unsharded run's."""
+        spec, ref_store = reference
+        store = MemoryStore()
+        executed = 0
+        for index in range(count):
+            report = run_campaign(spec, store, shard=(index, count))
+            assert report.shard == f"{index}/{count}"
+            assert report.deferred == 0
+            executed += report.executed
+        assert executed == spec.n_cells
+        assert _ledger_dict(store, spec.name) == _ledger_dict(ref_store, spec.name)
+        # No claim markers survive a clean sharded run.
+        assert store.count() == spec.n_cells
+        # The paper-style report aggregates to identical numbers.
+        assert (
+            analyze_campaign(spec, store).to_dict()
+            == analyze_campaign(spec, ref_store).to_dict()
+        )
+
+    def test_filestore_shards_match_unsharded_ledger_and_report(self, tmp_path):
+        """The acceptance scenario verbatim: two shards executed
+        sequentially in-process against one FileStore yield a ledger
+        *and* ``--report`` output identical to the unsharded run's."""
+        spec = CampaignSpec.from_dict(SPEC)
+        single = FileStore(tmp_path / "single")
+        assert run_campaign(spec, single).complete
+        shared = FileStore(tmp_path / "sharded")
+        for index in range(2):
+            run_campaign(spec, shared, shard=(index, 2))
+        assert _ledger_dict(shared, spec.name) == _ledger_dict(single, spec.name)
+        sharded = analyze_campaign(spec, shared)
+        unsharded = analyze_campaign(spec, single)
+        for fmt in ("table", "json", "csv"):
+            assert sharded.render(fmt) == unsharded.render(fmt)
+
+    def test_shard_rerun_completes_only_the_unions_missing_cells(self, reference):
+        spec, ref_store = reference
+        store = MemoryStore()
+        first = run_campaign(spec, store, shard="0/2")
+        assert 0 < first.executed < spec.n_cells
+        assert first.executed == first.assigned
+        # An unsharded follow-up executes exactly the other shard's cells.
+        rest = run_campaign(spec, store)
+        assert rest.skipped == first.executed
+        assert rest.executed == spec.n_cells - first.executed
+        assert rest.complete
+        assert _ledger_dict(store, spec.name) == _ledger_dict(ref_store, spec.name)
+
+    def test_completed_shard_rerun_is_a_noop(self, reference):
+        spec, _ = reference
+        store = MemoryStore()
+        for index in range(2):
+            run_campaign(spec, store, shard=(index, 2))
+        again = run_campaign(spec, store, shard=(0, 2))
+        assert again.executed == 0 and again.assigned == 0
+        assert again.skipped == spec.n_cells
+
+    def test_limit_applies_within_the_shard(self, reference):
+        spec, _ = reference
+        store = MemoryStore()
+        report = run_campaign(spec, store, shard=(0, 2), limit=1)
+        assert report.executed == 1 and report.truncated
+        resumed = run_campaign(spec, store, shard=(0, 2))
+        assert resumed.skipped == 1
+        assert resumed.executed == resumed.assigned
+
+
+class TestSeedGoldens:
+    """Pin the digest scheme and per-cell noise-seed derivation."""
+
+    def test_digests_match_golden(self):
+        cells = {c.digest: c for c in CampaignSpec.from_dict(SPEC).cells()}
+        assert len(GOLDEN["cells"]) == len(cells)
+        for pin in GOLDEN["cells"]:
+            cell = cells.get(pin["digest"])
+            assert cell is not None, f"digest {pin['digest']} disappeared"
+            assert (cell.app, cell.machine, cell.seed, cell.rep) == (
+                pin["app"], pin["machine"], pin["seed"], pin["rep"]
+            )
+
+    def test_noise_seeds_match_golden(self):
+        """The exact seed each cell's engine noise stream derives from.
+
+        ``seed_from(machine, workload, seed, index)`` is the spawn-slot
+        derivation the sim backend and the run service share; the pins
+        make any change to it (or to the workload naming it hashes)
+        loud.
+        """
+        from repro.apps.registry import parse_app
+        from repro.sim.machines import resolve_machine
+        from repro.sim.noise import seed_from
+
+        for pin in GOLDEN["cells"]:
+            workload = parse_app(pin["app"]).build_workload(
+                resolve_machine(pin["machine"])
+            )
+            assert workload.name == pin["workload"]
+            assert (
+                seed_from(pin["machine"], workload.name, pin["seed"], pin["rep"] + 1)
+                == pin["noise_seed"]
+            )
+
+    def test_executed_profiles_draw_the_pinned_streams(self, reference):
+        """End to end: two independent runs of the pinned spec agree on
+        every noisy duration, so the goldens really pin the streams the
+        ledger stores."""
+        spec, ref_store = reference
+        store = MemoryStore()
+        run_campaign(spec, store)
+        reference_entries = ledger(ref_store, spec.name)
+        for digest, profile in ledger(store, spec.name).items():
+            assert profile.tx == reference_entries[digest].tx

@@ -9,6 +9,7 @@ from repro.core.emulator import Emulator
 from repro.core.profiler import Profiler
 from repro.runtime import (
     ParallelFallbackWarning,
+    RunPolicy,
     RunRequest,
     RunResult,
     RunService,
@@ -292,3 +293,184 @@ class TestEntryPointsUseService:
         reset_service()
         fresh = get_service()
         assert fresh is not service
+
+
+class TestRunPolicy:
+    def test_validation(self):
+        assert RunPolicy().attempts == 1
+        assert RunPolicy(retries=2).attempts == 3
+        with pytest.raises(ValueError, match="retries"):
+            RunPolicy(retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            RunPolicy(timeout=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            RunPolicy(backoff=-0.1)
+
+    def test_from_dict(self):
+        policy = RunPolicy.from_dict({"retries": 2, "timeout": 1.5})
+        assert policy == RunPolicy(retries=2, timeout=1.5, backoff=0.0)
+        assert RunPolicy.from_dict(policy) is policy
+        with pytest.raises(ValueError, match="unknown run policy keys"):
+            RunPolicy.from_dict({"retires": 1})
+        with pytest.raises(ValueError, match="mapping"):
+            RunPolicy.from_dict([1, 2])
+        # Non-numeric values raise ValueError too (never a raw
+        # TypeError), so spec validation wraps them as ConfigError.
+        with pytest.raises(ValueError, match="invalid run policy values"):
+            RunPolicy.from_dict({"timeout": {}})
+        with pytest.raises(ValueError):
+            RunPolicy.from_dict({"retries": [1]})
+
+    def test_flaky_request_succeeds_after_retry(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise OSError("transient")
+            return "ok"
+
+        request = RunRequest(
+            kind="call", runner=flaky, policy=RunPolicy(retries=1)
+        )
+        with RunService() as service:
+            [result] = service.run([request])
+        assert result.ok and result.value == "ok"
+        assert len(calls) == 2
+
+    def test_exhausted_retries_fail_with_last_error(self):
+        def always_broken():
+            raise OSError("still broken")
+
+        request = RunRequest(
+            kind="call", runner=always_broken, key="cell-x",
+            policy=RunPolicy(retries=2),
+        )
+        with RunService() as service:
+            [result] = service.run([request], rethrow=False)
+        assert not result.ok
+        assert "attempt 3/3" in result.error
+        assert "OSError('still broken')" in result.error
+
+    def test_backoff_sleeps_between_attempts(self):
+        import time as _time
+
+        def broken():
+            raise ValueError("nope")
+
+        request = RunRequest(
+            kind="call", runner=broken,
+            policy=RunPolicy(retries=2, backoff=0.01),
+        )
+        start = _time.perf_counter()
+        with RunService() as service:
+            [result] = service.run([request], rethrow=False)
+        # Linear backoff: 0.01 after attempt 1 + 0.02 after attempt 2.
+        assert _time.perf_counter() - start >= 0.03
+        assert result.seconds >= 0.03
+
+    def test_timeout_classifies_slow_requests_as_failed(self):
+        import time as _time
+
+        def slow():
+            _time.sleep(0.03)
+            return "too late"
+
+        request = RunRequest(
+            kind="call", runner=slow, policy=RunPolicy(timeout=0.005)
+        )
+        with RunService() as service:
+            [result] = service.run([request], rethrow=False)
+        assert not result.ok
+        assert "RunTimeoutError" in result.error
+        assert "policy timeout" in result.error
+
+    def test_campaign_spec_policy_reaches_requests(self):
+        from repro.runtime import CampaignSpec
+
+        spec = CampaignSpec.from_dict({
+            "name": "pol", "apps": ["sleeper:sleep_seconds=1"],
+            "machines": ["thinkie"],
+            "policy": {"retries": 1, "backoff": 0.5},
+        })
+        request = spec.cells()[0].to_request()
+        assert request.policy == RunPolicy(retries=1, backoff=0.5)
+
+    def test_campaign_spec_rejects_bad_policy(self):
+        from repro.core.errors import ConfigError
+        from repro.runtime import CampaignSpec
+
+        with pytest.raises(ConfigError, match="invalid campaign policy"):
+            CampaignSpec.from_dict({
+                "name": "pol", "apps": ["sleeper"], "machines": ["thinkie"],
+                "policy": {"retires": 1},
+            })
+        with pytest.raises(ConfigError, match="invalid campaign policy"):
+            CampaignSpec.from_dict({
+                "name": "pol", "apps": ["sleeper"], "machines": ["thinkie"],
+                "policy": {"timeout": {}},  # non-numeric, not just unknown
+            })
+
+
+class TestFailureContext:
+    """Worker exceptions surface request context, not a bare traceback."""
+
+    def test_error_message_carries_kind_key_and_attempt(self):
+        request = RunRequest(
+            kind="engine", target=object(), machine="thinkie",
+            key="deadbeef12345678", policy=RunPolicy(retries=1),
+        )
+        with RunService() as service:
+            [result] = service.run([request], rethrow=False, processes=1)
+        assert "engine request" in result.error
+        assert "key=deadbeef12345678" in result.error
+        assert "attempt 2/2" in result.error
+        assert "WorkloadError" in result.error
+
+    def test_pooled_failures_carry_the_same_context(self):
+        requests = [
+            RunRequest(
+                kind="engine", target=object(), machine="thinkie",
+                key=f"cell-{i}",
+            )
+            for i in range(2)
+        ]
+        with RunService() as service:
+            results = service.run(requests, rethrow=False, processes=2)
+        for i, result in enumerate(results):
+            assert not result.ok
+            assert f"key=cell-{i}" in result.error
+            assert "attempt 1/1" in result.error
+
+    def test_rethrow_preserves_exception_type_and_annotates(self):
+        from repro.core.errors import WorkloadError
+
+        request = RunRequest(
+            kind="engine", target=object(), machine="thinkie", key="cell-y"
+        )
+        with RunService() as service:
+            with pytest.raises(WorkloadError) as excinfo:
+                service.run([request])
+        notes = getattr(excinfo.value, "__notes__", [])
+        if hasattr(excinfo.value, "add_note"):  # 3.11+
+            assert any("key=cell-y" in note for note in notes)
+
+    def test_campaign_failures_record_the_enriched_message(self):
+        """End to end: a failing campaign cell's ledger entry names the
+        cell digest and attempt, not just the raw exception."""
+        from repro.runtime import CampaignSpec, run_campaign
+        from repro.storage.base import MemoryStore
+
+        spec = CampaignSpec.from_dict({
+            "name": "ctx", "kind": "profile",
+            "apps": ["sleeper:sleep_seconds=1"],
+            "machines": ["nosuchmachine"],  # fails at dispatch, not parse
+            "policy": {"retries": 1},
+        })
+        report = run_campaign(spec, MemoryStore())
+        assert len(report.failed) == 1
+        failure = report.failed[0]
+        message = failure["error"]
+        assert f"key={failure['cell']}" in message
+        assert "attempt 2/2" in message
+        assert "profile request" in message
