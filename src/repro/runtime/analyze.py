@@ -11,6 +11,12 @@ same app's group on a *reference machine* (default: the first machine
 in the spec) — the cross-resource analogue of the paper's
 emulation-vs-application comparisons.
 
+The ledger is read through the store's batched APIs: cell digests
+resolve on the index plane (tag scans, no payloads) and
+``store.get_many`` then loads exactly the artifact documents the report
+aggregates — a report build touches each payload once, never the whole
+store.
+
 Entry points: :func:`analyze_campaign` (library),
 ``core.api.campaign_report`` (public API) and
 ``repro campaign <spec> --report [--format table|json|csv]`` (CLI).

@@ -420,18 +420,22 @@ def claims(store: Any, name: str) -> dict[str, list[tuple[float, str]]]:
     """Live + stale claim markers of campaign ``name``.
 
     Returns cell digest -> list of ``(created, owner)`` pairs, one per
-    marker.  Callers decide staleness (see ``claim_ttl``).
+    marker.  Callers decide staleness (see ``claim_ttl``).  Everything a
+    claim carries (digest, owner, creation time) lives in its tags, so
+    the scan runs on the store's index plane — no marker payloads are
+    deserialised, and the per-wave read-back cost is O(live markers)
+    instead of O(ledger).
     """
     found: dict[str, list[tuple[float, str]]] = {}
-    for marker in store.find(CLAIM_COMMAND, tags=[f"campaign={name}"]):
+    for entry in store.entries(CLAIM_COMMAND, tags=[f"campaign={name}"]):
         digest = owner = None
-        for tag in marker.tags:
+        for tag in entry.tags:
             if tag.startswith("claim="):
                 digest = tag[len("claim="):]
             elif tag.startswith("owner="):
                 owner = tag[len("owner="):]
         if digest and owner:
-            found.setdefault(digest, []).append((marker.created, owner))
+            found.setdefault(digest, []).append((entry.created, owner))
     return found
 
 
@@ -456,9 +460,10 @@ def _claim_wave(
     claims recently): markers are still written so *rivals* defer to
     us, but the wave runs unfiltered.  ``rivals`` reports whether any
     live foreign claim was seen, letting the caller decide whether the
-    next wave needs a scan — the read-back walks the whole store, so
-    paying it per wave only makes sense while someone else is actually
-    in there.
+    next wave needs a scan — the read-back is an index-plane scan of
+    the campaign's markers (O(live claims), no payloads), but even that
+    only makes sense to pay per wave while someone else is actually in
+    there.
     """
     now = time.time()
     markers = [
@@ -532,10 +537,9 @@ def _gc_stale_claims(store: Any, name: str, ttl: float, now: float) -> None:
         return
     try:
         stale = [
-            pid for pid, profile in store._iter_profiles()
-            if profile.command == CLAIM_COMMAND
-            and f"campaign={name}" in profile.tags
-            and now - profile.created > ttl
+            entry.id
+            for entry in store.entries(CLAIM_COMMAND, tags=[f"campaign={name}"])
+            if now - entry.created > ttl
         ]
     except Exception:  # noqa: BLE001 - GC must never fail a wave
         return
@@ -552,29 +556,46 @@ def _is_cell_digest(text: str) -> bool:
     return len(text) == 16 and set(text) <= _DIGEST_CHARS
 
 
-def _iter_ledger(store: Any, name: str):
-    """Yield ``(digest, profile)`` for every well-formed ledger entry.
+def _ledger_ids(store: Any, name: str) -> list[tuple[str, str]]:
+    """``(digest, store id)`` pairs for every well-formed ledger entry.
 
     Entries whose ``cell=`` tag is missing, empty or malformed are
     skipped: they can never correspond to a spec cell, so treating them
-    as completed would silently drop cells from a resumed sweep.
+    as completed would silently drop cells from a resumed sweep.  The
+    scan runs on the store's index plane (cell digests live in the
+    tags), so ledger bookkeeping — resume checks, shard partitioning —
+    never deserialises artifact payloads.
     """
-    for profile in store.find(tags=[f"campaign={name}"]):
-        for tag in profile.tags:
+    pairs: list[tuple[str, str]] = []
+    for entry in store.entries(tags=[f"campaign={name}"]):
+        for tag in entry.tags:
             if tag.startswith("cell="):
                 digest = tag[len("cell="):]
                 if _is_cell_digest(digest):
-                    yield digest, profile
+                    pairs.append((digest, entry.id))
+    return pairs
 
 
 def completed_cells(store: Any, name: str) -> set[str]:
-    """Digests of all cells of campaign ``name`` already in the ledger."""
-    return {digest for digest, _profile in _iter_ledger(store, name)}
+    """Digests of all cells of campaign ``name`` already in the ledger.
+
+    Index-plane only: a campaign resume (or shard partition) costs one
+    tag-filtered index scan, not a full-ledger deserialisation.
+    """
+    return {digest for digest, _pid in _ledger_ids(store, name)}
 
 
 def ledger(store: Any, name: str) -> dict[str, Any]:
-    """The campaign's ledger: cell digest -> stored artifact profile."""
-    return dict(_iter_ledger(store, name))
+    """The campaign's ledger: cell digest -> stored artifact profile.
+
+    Resolves digests on the index plane, then batch-loads exactly the
+    artifact payloads via ``get_many`` (duplicate digests — racing
+    shards' bit-identical artifacts — dedupe to the newest entry, as
+    before).
+    """
+    pairs = _ledger_ids(store, name)
+    profiles = store.get_many([pid for _digest, pid in pairs])
+    return {digest: profile for (digest, _pid), profile in zip(pairs, profiles)}
 
 
 def run_campaign(
@@ -628,7 +649,7 @@ def run_campaign(
     failures: list[dict[str, str]] = []
     start = time.perf_counter()
     # The first claimed wave always scans for rivals; later waves only
-    # keep paying the store-wide read-back while rivals are actually
+    # keep paying the marker read-back while rivals are actually
     # live.  A rival appearing *after* scanning stops goes unseen — the
     # worst case is a duplicate, bit-identical artifact, which resume
     # and analysis dedupe by digest.

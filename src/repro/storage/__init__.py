@@ -12,9 +12,10 @@ The paper's profiler writes profiles "on disk or in a MongoDB database"
 from __future__ import annotations
 
 from repro.core.errors import StoreError
-from repro.storage.base import MemoryStore, ProfileStore
+from repro.storage.base import MemoryStore, ProfileStore, StoreEntry
 from repro.storage.filestore import FileStore
 from repro.storage.mongostore import MAX_DOCUMENT_BYTES, Collection, MongoLite, MongoStore
+from repro.storage.query import compile_query
 
 __all__ = [
     "Collection",
@@ -24,6 +25,8 @@ __all__ = [
     "MongoLite",
     "MongoStore",
     "ProfileStore",
+    "StoreEntry",
+    "compile_query",
     "open_store",
 ]
 

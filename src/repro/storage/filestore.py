@@ -1,4 +1,4 @@
-"""File-based profile storage.
+"""File-based profile storage with a per-group sidecar index.
 
 One JSON document per profile, stored under a root directory.  The paper
 notes file-based storage "poses no limit on the number of samples"
@@ -6,15 +6,46 @@ notes file-based storage "poses no limit on the number of samples"
 
 File layout::
 
-    <root>/<key-hash>/<created-ns>-<writer>-<seq>.json
+    <root>/<key-hash>/<created-ns>-<writer>-<seq>.json   # one profile each
+    <root>/<key-hash>/index.jsonl                        # sidecar index
 
-where ``key-hash`` identifies the ``(command, tags)`` group, keeping
-lookups for one application cheap without a separate index file.
-``writer`` is a per-store token (PID plus random suffix): several
-processes — or several stores in one process — writing the same group
-in the same nanosecond produce distinct filenames instead of silently
-clobbering each other (the per-store sequence number alone restarts
-from zero in every new process).
+where ``key-hash`` identifies the ``(command, tags)`` group.  ``writer``
+is a per-store token (PID plus random suffix): several processes — or
+several stores in one process — writing the same group in the same
+nanosecond produce distinct filenames instead of silently clobbering
+each other (the per-store sequence number alone restarts from zero in
+every new process).
+
+Sidecar index (``index.jsonl``)
+-------------------------------
+
+Each group carries an append-only journal with one JSON line per stored
+profile::
+
+    {"id": "<key-hash>/<file>.json", "command": ..., "tags": [...],
+     "created": ...}
+
+``put``/``put_many`` append a line after writing the profile file, so
+queries answer "which profiles match this command/tag filter" from the
+index alone — no profile payload is opened until a match is confirmed.
+The journal is advisory, never authoritative: the ``*.json`` files in
+the group directory are the truth, and every index load re-lists the
+directory (names only, via ``scandir``) and reconciles:
+
+* profile files missing from the journal (a writer crashed between the
+  rename and the append, or a concurrent writer's append is mid-flight)
+  are *healed* — their metadata is read once and journal-appended;
+* journal lines whose file is gone (deleted profiles) are dropped;
+* corrupt/truncated lines (torn concurrent appends, partial disk
+  writes) are skipped and trigger a compacting rewrite of the journal.
+
+Because validation compares directory listings rather than timestamps,
+a second writer appending to a group is visible to every reader's next
+query even within one filesystem-timestamp tick — the invariant the
+sharded-campaign ledger depends on.  A group's ``(command, tags)``
+identity is immutable (the directory name is its hash), so groups ruled
+out by a query's command/tag filter are pruned from cache without any
+directory I/O.
 """
 
 from __future__ import annotations
@@ -23,14 +54,22 @@ import hashlib
 import json
 import os
 import secrets
+from bisect import insort
+from collections.abc import Mapping
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.errors import StoreError
 from repro.core.samples import Profile
-from repro.storage.base import ProfileStore
+from repro.core.tags import normalize_command, normalize_tags
+from repro.storage.base import ProfileStore, StoreEntry
+from repro.storage.query import compile_query
 
-__all__ = ["FileStore"]
+__all__ = ["FileStore", "INDEX_NAME"]
+
+#: Name of the per-group sidecar index journal.
+INDEX_NAME = "index.jsonl"
 
 
 def _key_hash(command: str, tags: tuple[str, ...]) -> str:
@@ -38,30 +77,60 @@ def _key_hash(command: str, tags: tuple[str, ...]) -> str:
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
+@dataclass
+class _GroupIndex:
+    """Cached view of one group directory: identity + live files."""
+
+    command: str
+    tags: tuple[str, ...]
+    #: ``(filename, created)`` for every live profile, filename-sorted
+    #: (filenames start with the creation timestamp, so this is also
+    #: write order within one writer).
+    entries: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def names(self) -> set[str]:
+        return {name for name, _created in self.entries}
+
+
 class FileStore(ProfileStore):
-    """Profile store rooted at a directory (created on demand)."""
+    """Profile store rooted at a directory (created on demand).
+
+    Queries are index-first: group directories are pruned by their
+    cached ``(command, tags)`` identity, surviving groups are validated
+    against a names-only directory listing, and profile payloads are
+    parsed only for confirmed candidates (lazily —
+    ``find(query=...)`` matches the raw stored document and only builds
+    :class:`~repro.core.samples.Profile` objects for accepted ones).
+    """
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._seq = 0
         self._writer = f"{os.getpid():x}{secrets.token_hex(4)}"
+        self._groups: dict[str, _GroupIndex] = {}
+
+    # -- writes ---------------------------------------------------------------
 
     def put(self, profile: Profile) -> str:
         group = self.root / _key_hash(profile.command, profile.tags)
         group.mkdir(parents=True, exist_ok=True)
-        return self._write(group, profile)
+        pid = self._write(group, profile)
+        self._journal_append(group, [(pid, profile)])
+        return pid
 
     def put_many(self, profiles: Sequence[Profile] | Iterable[Profile]) -> list[str]:
         """Store a batch of profiles; returns their ids in order.
 
-        Group directories are created once per distinct ``(command,
-        tags)`` key instead of once per profile — the batch counterpart
-        of :meth:`put` for experiment fan-out (``spawn_many`` replays,
-        repeated profiling runs).
+        Group directories are created and journal appends flushed once
+        per distinct ``(command, tags)`` key instead of once per profile
+        — the batch counterpart of :meth:`put` for experiment fan-out
+        (``spawn_many`` replays, campaign waves, repeated profiling).
         """
         profiles = list(profiles)
         groups: dict[str, Path] = {}
+        written: dict[str, list[tuple[str, Profile]]] = {}
         ids: list[str] = []
         for profile in profiles:
             key = _key_hash(profile.command, profile.tags)
@@ -70,7 +139,11 @@ class FileStore(ProfileStore):
                 group = self.root / key
                 group.mkdir(parents=True, exist_ok=True)
                 groups[key] = group
-            ids.append(self._write(group, profile))
+            pid = self._write(group, profile)
+            written.setdefault(key, []).append((pid, profile))
+            ids.append(pid)
+        for key, items in written.items():
+            self._journal_append(groups[key], items)
         return ids
 
     def _write(self, group: Path, profile: Profile) -> str:
@@ -78,21 +151,298 @@ class FileStore(ProfileStore):
         name = f"{int(profile.created * 1e9):020d}-{self._writer}-{self._seq:06d}.json"
         path = group / name
         tmp = path.with_suffix(".tmp")
-        try:
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(profile.to_dict(), handle)
-            os.replace(tmp, path)
-        except OSError as exc:  # disk full, permissions, ...
-            raise StoreError(f"cannot write profile to {path}: {exc}") from exc
+        # One retry after re-creating the group: a reader's empty-group
+        # GC (see _load_group_index) may rmdir the directory between our
+        # mkdir and this first write.
+        for attempt in (0, 1):
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(profile.to_dict(), handle)
+                os.replace(tmp, path)
+                break
+            except OSError as exc:  # vanished group, disk full, permissions, ...
+                if attempt == 0 and not group.is_dir():
+                    group.mkdir(parents=True, exist_ok=True)
+                    continue
+                raise StoreError(f"cannot write profile to {path}: {exc}") from exc
         return str(path.relative_to(self.root))
 
+    @staticmethod
+    def _journal_line(
+        pid: str, command: str, tags: tuple[str, ...], created: float
+    ) -> str:
+        """One sidecar index record (see the module docstring's layout)."""
+        return json.dumps(
+            {"id": pid, "command": command, "tags": list(tags), "created": created}
+        ) + "\n"
+
+    def _journal_append(self, group: Path, items: list[tuple[str, Profile]]) -> None:
+        """Append index lines for freshly written profiles (best-effort).
+
+        The profile files are authoritative; a failed or torn append is
+        healed by the next index load, so journal trouble never fails a
+        ``put``.
+        """
+        lines = "".join(
+            self._journal_line(pid, profile.command, profile.tags, profile.created)
+            for pid, profile in items
+        )
+        try:
+            with open(group / INDEX_NAME, "a", encoding="utf-8") as handle:
+                handle.write(lines)
+        except OSError:
+            pass
+        cached = self._groups.get(group.name)
+        if cached is not None:
+            for pid, profile in items:
+                insort(cached.entries, (pid.rpartition("/")[2], profile.created))
+
     def delete(self, pid: str) -> None:
-        """Remove one stored profile by the id :meth:`put` returned."""
+        """Remove one stored profile by the id :meth:`put` returned.
+
+        The journal line is left behind; index loads drop lines whose
+        file is gone and eventually compact them away.
+        """
         path = self.root / pid
         try:
             path.unlink()
         except FileNotFoundError as exc:
             raise StoreError(f"no stored profile {pid!r}") from exc
+        self._groups.pop(path.parent.name, None)
+
+    # -- index plane ----------------------------------------------------------
+
+    def _group_dirs(self) -> list[str]:
+        try:
+            with os.scandir(self.root) as it:
+                return sorted(entry.name for entry in it if entry.is_dir())
+        except OSError:
+            return []
+
+    def _group_index(self, gname: str) -> _GroupIndex | None:
+        """Validated index of one group (``None`` when empty/unreadable).
+
+        Always re-lists the directory (names only) and reuses the cached
+        parse when the live file set is unchanged; otherwise reloads and
+        reconciles the journal.
+        """
+        group = self.root / gname
+        try:
+            with os.scandir(group) as it:
+                names = sorted(
+                    entry.name
+                    for entry in it
+                    if entry.name.endswith(".json") and entry.is_file()
+                )
+        except OSError:
+            self._groups.pop(gname, None)
+            return None
+        cached = self._groups.get(gname)
+        if cached is not None and len(cached.entries) == len(names):
+            if cached.names == set(names):
+                return cached
+        index = self._load_group_index(group, names)
+        if index is not None:
+            self._groups[gname] = index
+        else:
+            self._groups.pop(gname, None)
+        return index
+
+    def _load_group_index(
+        self, group: Path, names: list[str]
+    ) -> _GroupIndex | None:
+        """Parse + reconcile one group's journal against its live files."""
+        known: dict[str, tuple[str, tuple[str, ...], float]] = {}
+        dirty = False  # corrupt lines or stale entries -> compact
+        try:
+            with open(group / INDEX_NAME, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                        name = str(row["id"]).rpartition("/")[2]
+                        record = (
+                            str(row["command"]),
+                            tuple(str(tag) for tag in row["tags"]),
+                            float(row["created"]),
+                        )
+                    except (ValueError, KeyError, TypeError):
+                        dirty = True  # torn append / partial write
+                        continue
+                    known.setdefault(name, record)
+        except FileNotFoundError:
+            pass
+        except OSError:
+            dirty = True
+        live = set(names)
+        if set(known) - live:
+            dirty = True  # deleted profiles left stale journal lines
+        missing = [name for name in names if name not in known]
+        healed: dict[str, tuple[str, tuple[str, ...], float]] = {}
+        for name in missing:
+            # Only the index fields are needed — read them off the raw
+            # document instead of deserialising every sample.
+            doc = self._read_doc(group / name)
+            healed[name] = (
+                str(doc["command"]),
+                tuple(str(tag) for tag in doc.get("tags", ())),
+                float(doc.get("created", 0.0)),
+            )
+        if not live:
+            # Garbage-collect a dead group (every profile deleted — e.g.
+            # a cleaned-up campaign claim): drop the stale journal and
+            # the directory itself so future queries stop re-scanning
+            # it.  A concurrent writer reviving the group wins the race:
+            # rmdir fails on a non-empty directory, and ``_write``
+            # re-creates a directory GC'd out from under it and retries.
+            try:
+                (group / INDEX_NAME).unlink(missing_ok=True)
+                os.rmdir(group)
+            except OSError:
+                pass
+            return None
+        merged = {name: known.get(name) or healed[name] for name in names}
+        first = merged[names[0]]
+        index = _GroupIndex(
+            command=first[0],
+            tags=first[1],
+            entries=[(name, merged[name][2]) for name in names],
+        )
+        if dirty:
+            self._journal_rewrite(group, merged)
+        elif healed:
+            self._journal_append_records(group, healed)
+        return index
+
+    def _journal_append_records(
+        self, group: Path, records: Mapping[str, tuple[str, tuple[str, ...], float]]
+    ) -> None:
+        lines = "".join(
+            self._journal_line(f"{group.name}/{name}", command, tags, created)
+            for name, (command, tags, created) in records.items()
+        )
+        try:
+            with open(group / INDEX_NAME, "a", encoding="utf-8") as handle:
+                handle.write(lines)
+        except OSError:
+            pass
+
+    def _journal_rewrite(
+        self, group: Path, records: Mapping[str, tuple[str, tuple[str, ...], float]]
+    ) -> None:
+        """Atomically compact the journal to exactly the live records.
+
+        A concurrent writer's append racing this rewrite can lose its
+        line, never its profile file — the next load heals the journal.
+        """
+        tmp = group / f"{INDEX_NAME}.{self._writer}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for name in sorted(records):
+                    command, tags, created = records[name]
+                    handle.write(
+                        self._journal_line(f"{group.name}/{name}", command, tags, created)
+                    )
+            os.replace(tmp, group / INDEX_NAME)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    def _matching_groups(
+        self, command: object, tags: object
+    ) -> list[tuple[str, _GroupIndex]]:
+        """Group indexes surviving the command/tag filter, name-sorted.
+
+        A group's identity is immutable, so cached non-matching groups
+        are pruned without any directory I/O; only matching (or not yet
+        cached) groups pay the names-only listing.
+        """
+        want_command = normalize_command(command) if command is not None else None
+        wanted = set(normalize_tags(tags))
+
+        def matches_filter(index: _GroupIndex) -> bool:
+            if want_command is not None and index.command != want_command:
+                return False
+            return wanted <= set(index.tags)
+
+        survivors: list[tuple[str, _GroupIndex]] = []
+        for gname in self._group_dirs():
+            cached = self._groups.get(gname)
+            if cached is not None and not matches_filter(cached):
+                continue
+            index = self._group_index(gname)
+            if index is not None and matches_filter(index):
+                survivors.append((gname, index))
+        return survivors
+
+    def entries(
+        self, command: object = None, tags: object = None
+    ) -> list[StoreEntry]:
+        found = [
+            StoreEntry(f"{gname}/{name}", index.command, index.tags, created)
+            for gname, index in self._matching_groups(command, tags)
+            for name, created in index.entries
+        ]
+        # Ids are ``<group>/<file>`` with fixed-width components, so the
+        # (created, id) sort reproduces the reference scan's order:
+        # created oldest-first, ties in directory-walk order.
+        found.sort(key=lambda entry: (entry.created, entry.id))
+        return found
+
+    # -- payload plane --------------------------------------------------------
+
+    def _read_doc(self, path: Path) -> dict[str, Any]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError as exc:
+            raise StoreError(
+                f"no stored profile {str(path.relative_to(self.root))!r}"
+            ) from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"corrupt profile file {path}: {exc}") from exc
+
+    def get_many(self, ids) -> list[Profile]:
+        return [Profile.from_dict(self._read_doc(self.root / pid)) for pid in ids]
+
+    def find(
+        self,
+        command: object = None,
+        tags: object = None,
+        query: Mapping[str, Any] | None = None,
+    ) -> list[Profile]:
+        matcher = compile_query(query) if query is not None else None
+        found: list[tuple[float, str, Profile]] = []
+        for gname, index in self._matching_groups(command, tags):
+            for name, created in index.entries:
+                pid = f"{gname}/{name}"
+                doc = self._read_doc(self.root / pid)
+                if matcher is not None and not matcher(doc):
+                    continue
+                found.append((created, pid, Profile.from_dict(doc)))
+        found.sort(key=lambda item: item[:2])
+        return [profile for _created, _pid, profile in found]
+
+    def find_ids(
+        self,
+        command: object = None,
+        tags: object = None,
+        query: Mapping[str, Any] | None = None,
+    ) -> list[str]:
+        if query is None:
+            return [entry.id for entry in self.entries(command, tags)]
+        matcher = compile_query(query)
+        found = [
+            (created, f"{gname}/{name}")
+            for gname, index in self._matching_groups(command, tags)
+            for name, created in index.entries
+            if matcher(self._read_doc(self.root / f"{gname}/{name}"))
+        ]
+        found.sort()
+        return [pid for _created, pid in found]
+
+    # -- brute-force reference ------------------------------------------------
 
     def _iter_profiles(self):
         for group in sorted(self.root.iterdir()):

@@ -9,10 +9,20 @@ not available here, so this module implements a small, faithful stand-in:
   limit**.  The paper calls this limit out explicitly (§4.5): it caps the
   number of samples a profile can hold and caused the largest E.1
   configuration to lose a sample.
+* :class:`Collection` — supports **equality indexes**
+  (:meth:`Collection.create_index`): a ``value -> [doc ids]`` map per
+  indexed field, multikey over arrays exactly like MongoDB's array
+  indexes, maintained on every insert/delete/replace.
 * :class:`MongoStore` — the :class:`~repro.storage.base.ProfileStore`
-  backed by a ``MongoLite`` collection.  When a profile document exceeds
-  the limit the store truncates trailing samples until it fits and flags
-  the stored profile ``truncated`` (strict mode raises instead).
+  backed by a ``MongoLite`` collection.  It creates indexes on
+  ``command`` and ``tags`` (the paper's §4 search keys); because the
+  tags index is multikey over the full tag strings, campaign-ledger
+  lookups by ``campaign=``/``claim=``/``cell=`` tags and tag-prefix
+  scans resolve to index walks instead of collection scans, and query
+  matching runs on the raw stored documents — profiles are only
+  deserialised for confirmed matches.  When a profile document exceeds
+  the size limit the store truncates trailing samples until it fits and
+  flags the stored profile ``truncated`` (strict mode raises instead).
 """
 
 from __future__ import annotations
@@ -25,8 +35,9 @@ from typing import Any
 
 from repro.core.errors import DocumentTooLargeError, StoreError
 from repro.core.samples import Profile
-from repro.storage.base import ProfileStore
-from repro.storage.query import matches
+from repro.core.tags import normalize_command, normalize_tags
+from repro.storage.base import ProfileStore, StoreEntry
+from repro.storage.query import compile_query
 
 __all__ = ["MongoLite", "Collection", "MongoStore", "MAX_DOCUMENT_BYTES"]
 
@@ -39,6 +50,22 @@ def document_bytes(document: Mapping[str, Any]) -> int:
     return len(json.dumps(document).encode("utf-8"))
 
 
+def _index_keys(value: Any) -> list[Any]:
+    """Hashable index keys of one field value (multikey over arrays)."""
+    if isinstance(value, (list, tuple)):
+        items = value
+    else:
+        items = (value,)
+    keys = []
+    for item in items:
+        try:
+            hash(item)
+        except TypeError:
+            continue
+        keys.append(item)
+    return keys
+
+
 class Collection:
     """One named collection of documents inside a :class:`MongoLite`."""
 
@@ -47,6 +74,102 @@ class Collection:
         self.limit_bytes = limit_bytes
         self._docs: dict[int, dict[str, Any]] = {}
         self._next_id = 0
+        #: field -> value -> [doc ids] (insertion order preserved).
+        self._indexes: dict[str, dict[Any, list[Any]]] = {}
+        #: field -> [doc ids] whose value could not be hashed; always
+        #: included in candidate sets so indexing never loses documents.
+        self._unindexable: dict[str, list[Any]] = {}
+
+    # -- indexes --------------------------------------------------------------
+
+    def create_index(self, field: str) -> None:
+        """Maintain an equality index on a top-level field.
+
+        Array values are indexed per element (MongoDB's multikey
+        behaviour) — exactly what profile ``tags`` need.  Idempotent.
+        """
+        if field in self._indexes:
+            return
+        self._indexes[field] = {}
+        self._unindexable[field] = []
+        for doc_id, doc in self._docs.items():
+            self._index_field(field, doc_id, doc)
+
+    def _index_add(self, doc_id: Any, doc: Mapping[str, Any]) -> None:
+        for field in self._indexes:
+            self._index_field(field, doc_id, doc)
+
+    def _index_field(self, field: str, doc_id: Any, doc: Mapping[str, Any]) -> None:
+        if field not in doc:
+            return
+        value = doc[field]
+        keys = _index_keys(value)
+        if not keys and not isinstance(value, (list, tuple)):
+            self._unindexable[field].append(doc_id)
+            return
+        if isinstance(value, (list, tuple)) and len(keys) != len(value):
+            self._unindexable[field].append(doc_id)
+        index = self._indexes[field]
+        for key in keys:
+            index.setdefault(key, []).append(doc_id)
+
+    def _index_remove(self, doc_id: Any, doc: Mapping[str, Any]) -> None:
+        for field, index in self._indexes.items():
+            if field not in doc:
+                continue
+            for key in _index_keys(doc[field]):
+                ids = index.get(key)
+                if ids is None:
+                    continue
+                try:
+                    ids.remove(doc_id)
+                except ValueError:
+                    pass
+                if not ids:
+                    del index[key]
+            unhashed = self._unindexable[field]
+            if doc_id in unhashed:
+                unhashed.remove(doc_id)
+
+    def ids_with(self, field: str, value: Any) -> list[Any] | None:
+        """Doc ids whose indexed ``field`` equals/contains ``value``.
+
+        Returns ``None`` when no index exists on ``field`` (caller must
+        scan).  Ids come back in insertion order, plus any documents the
+        index could not cover.
+        """
+        index = self._indexes.get(field)
+        if index is None:
+            return None
+        ids = list(index.get(value, ()))
+        ids.extend(self._unindexable.get(field, ()))
+        return ids
+
+    def index_values(self, field: str, prefix: str = "") -> list[Any]:
+        """Distinct indexed values of ``field`` (optionally by string
+        prefix) without touching any document — the tag-prefix lookup
+        behind ``claim=``/``cell=`` ledger scans."""
+        index = self._indexes.get(field)
+        if index is None:
+            raise StoreError(f"no index on field {field!r} of {self.name!r}")
+        if not prefix:
+            return list(index)
+        return [
+            value
+            for value in index
+            if isinstance(value, str) and value.startswith(prefix)
+        ]
+
+    def ids(self) -> list[Any]:
+        """All document ids, in insertion order."""
+        return list(self._docs)
+
+    def document(self, doc_id: Any) -> dict[str, Any] | None:
+        """The raw stored document for one id (``None`` when absent).
+
+        Returns the internal object for speed; callers must not mutate.
+        """
+        return self._docs.get(doc_id)
 
     # -- writes ---------------------------------------------------------------
 
@@ -68,6 +191,7 @@ class Collection:
             raise StoreError(f"duplicate _id {doc_id!r} in collection {self.name!r}")
         self._next_id = max(self._next_id, int(doc_id) + 1) if isinstance(doc_id, int) else self._next_id + 1
         self._docs[doc_id] = doc
+        self._index_add(doc_id, doc)
         return doc_id
 
     def insert_many(self, documents) -> list[int]:
@@ -76,15 +200,18 @@ class Collection:
 
     def delete_many(self, query: Mapping[str, Any] | None = None) -> int:
         """Delete matching documents; returns the number removed."""
-        doomed = [doc_id for doc_id, doc in self._docs.items() if matches(doc, query)]
+        match = compile_query(query)
+        doomed = [doc_id for doc_id, doc in self._docs.items() if match(doc)]
         for doc_id in doomed:
+            self._index_remove(doc_id, self._docs[doc_id])
             del self._docs[doc_id]
         return len(doomed)
 
     def replace_one(self, query: Mapping[str, Any], document: Mapping[str, Any]) -> bool:
         """Replace the first matching document; returns True if replaced."""
+        match = compile_query(query)
         for doc_id, doc in self._docs.items():
-            if matches(doc, query):
+            if match(doc):
                 new_doc = dict(document)
                 new_doc["_id"] = doc_id
                 size = document_bytes(new_doc)
@@ -92,7 +219,9 @@ class Collection:
                     raise DocumentTooLargeError(
                         f"replacement document of {size} bytes exceeds the limit"
                     )
+                self._index_remove(doc_id, doc)
                 self._docs[doc_id] = new_doc
+                self._index_add(doc_id, new_doc)
                 return True
         return False
 
@@ -100,18 +229,21 @@ class Collection:
 
     def find(self, query: Mapping[str, Any] | None = None) -> list[dict[str, Any]]:
         """All documents matching the Mongo-style query (insertion order)."""
-        return [dict(doc) for doc in self._docs.values() if matches(doc, query)]
+        match = compile_query(query)
+        return [dict(doc) for doc in self._docs.values() if match(doc)]
 
     def find_one(self, query: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
         """First matching document or ``None``."""
+        match = compile_query(query)
         for doc in self._docs.values():
-            if matches(doc, query):
+            if match(doc):
                 return dict(doc)
         return None
 
     def count_documents(self, query: Mapping[str, Any] | None = None) -> int:
         """Number of matching documents."""
-        return sum(1 for doc in self._docs.values() if matches(doc, query))
+        match = compile_query(query)
+        return sum(1 for doc in self._docs.values() if match(doc))
 
     def distinct(self, path: str) -> list[Any]:
         """Distinct values of a (dotted) field across all documents."""
@@ -223,6 +355,8 @@ class MongoStore(ProfileStore):
         self.collection = self.db.collection("profiles")
         self.collection.limit_bytes = limit_bytes
         self.strict = strict
+        self.collection.create_index("command")
+        self.collection.create_index("tags")
 
     def put(self, profile: Profile) -> str:
         stored = self._fit(profile)
@@ -230,6 +364,15 @@ class MongoStore(ProfileStore):
         doc_id = self.collection.insert_one(doc)
         self.db.dump()
         return str(doc_id)
+
+    def put_many(self, profiles) -> list[str]:
+        """Persist a batch; the database file is dumped once, not per put."""
+        ids = [
+            str(self.collection.insert_one(self._fit(profile).to_dict()))
+            for profile in profiles
+        ]
+        self.db.dump()
+        return ids
 
     def _fit(self, profile: Profile) -> Profile:
         """Truncate a profile's samples until its document fits the limit."""
@@ -272,6 +415,105 @@ class MongoStore(ProfileStore):
         if not removed:
             raise StoreError(f"no stored profile {pid!r}")
         self.db.dump()
+
+    # -- indexed fast paths ---------------------------------------------------
+
+    def _candidate_docs(
+        self, command: object, tags: object
+    ) -> list[tuple[Any, dict[str, Any]]]:
+        """``(doc_id, raw doc)`` candidates in insertion order.
+
+        Prunes through the command/tags indexes, then verifies the
+        filter on the raw documents (covers multikey false positives and
+        unindexable leftovers) — no profile deserialisation.
+        """
+        want_command = normalize_command(command) if command is not None else None
+        wanted = normalize_tags(tags)
+        id_lists: list[list[Any]] = []
+        if want_command is not None:
+            ids = self.collection.ids_with("command", want_command)
+            if ids is not None:
+                id_lists.append(ids)
+        for tag in wanted:
+            ids = self.collection.ids_with("tags", tag)
+            if ids is not None:
+                id_lists.append(ids)
+        if id_lists:
+            # Walk the rarest list; membership-check the rest.
+            id_lists.sort(key=len)
+            first, rest = id_lists[0], [set(ids) for ids in id_lists[1:]]
+            candidate_ids = [
+                doc_id
+                for doc_id in dict.fromkeys(first)
+                if all(doc_id in other for other in rest)
+            ]
+        else:
+            candidate_ids = self.collection.ids()
+        wanted_set = set(wanted)
+        candidates: list[tuple[Any, dict[str, Any]]] = []
+        for doc_id in candidate_ids:
+            doc = self.collection.document(doc_id)
+            if doc is None:
+                continue
+            if want_command is not None and doc.get("command") != want_command:
+                continue
+            if wanted_set and not wanted_set <= set(doc.get("tags", ())):
+                continue
+            candidates.append((doc_id, doc))
+        return candidates
+
+    def entries(
+        self, command: object = None, tags: object = None
+    ) -> list[StoreEntry]:
+        found = [
+            StoreEntry(
+                str(doc_id),
+                doc["command"],
+                tuple(doc.get("tags", ())),
+                float(doc.get("created", 0.0)),
+            )
+            for doc_id, doc in self._candidate_docs(command, tags)
+        ]
+        found.sort(key=lambda entry: entry.created)
+        return found
+
+    def get_many(self, ids) -> list[Profile]:
+        profiles = []
+        for pid in ids:
+            try:
+                doc = self.collection.document(int(pid))
+            except (TypeError, ValueError):
+                doc = None
+            if doc is None:
+                raise StoreError(f"no stored profile {pid!r}")
+            profiles.append(Profile.from_dict(doc))
+        return profiles
+
+    def find(
+        self,
+        command: object = None,
+        tags: object = None,
+        query: Mapping[str, Any] | None = None,
+    ) -> list[Profile]:
+        matcher = compile_query(query) if query is not None else None
+        found: list[tuple[float, int, Profile]] = []
+        for position, (doc_id, doc) in enumerate(
+            self._candidate_docs(command, tags)
+        ):
+            if matcher is not None:
+                # Match the raw stored document (minus the store-private
+                # id, mirroring the profile's dict form) — built once per
+                # candidate and reused across every query branch.
+                probe = {key: value for key, value in doc.items() if key != "_id"}
+                if not matcher(probe):
+                    continue
+            found.append(
+                (float(doc.get("created", 0.0)), position, Profile.from_dict(doc))
+            )
+        found.sort(key=lambda item: item[:2])
+        return [profile for _created, _position, profile in found]
+
+    # -- brute-force reference ------------------------------------------------
 
     def _iter_profiles(self):
         for doc in self.collection.find():

@@ -14,15 +14,23 @@ ports over directly:
 * existence: ``$exists``
 * logic: ``$and $or $nor $not``
 * dotted paths: ``{"machine.name": "thinkie"}``
+
+Queries are *compiled* before matching: :func:`compile_query` pre-resolves
+the operator tree into a matcher closure — ``$regex`` patterns are
+``re.compile``\\ d once, dotted paths are pre-split, sub-queries of
+``$and``/``$or``/``$nor``/``$elemMatch`` are compiled recursively — so a
+store ``find()`` pays query parsing once per call instead of once per
+candidate document.  :func:`matches` stays as the one-shot convenience
+wrapper with identical semantics.
 """
 
 from __future__ import annotations
 
 import re
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from typing import Any
 
-__all__ = ["matches", "get_path"]
+__all__ = ["compile_query", "matches", "get_path"]
 
 _MISSING = object()
 
@@ -94,83 +102,126 @@ def _value_matches(actual: Any, expected: Any) -> bool:
     return False
 
 
-def _apply_operators(actual: Any, ops: Mapping[str, Any]) -> bool:
+def _is_array(value: Any) -> bool:
+    return isinstance(value, Sequence) and not isinstance(value, (str, bytes))
+
+
+def _compile_operators(ops: Mapping[str, Any]) -> Callable[[Any], bool]:
+    """Compile an operator document into a predicate over the field value."""
+    tests: list[Callable[[Any], bool]] = []
     for op, arg in ops.items():
         if op in ("$eq", "$ne", "$gt", "$gte", "$lt", "$lte"):
-            if not _compare(op, actual, arg):
-                return False
+            tests.append(lambda actual, op=op, arg=arg: _compare(op, actual, arg))
         elif op == "$in":
-            if not any(_value_matches(actual, item) for item in arg):
-                return False
+            choices = list(arg)
+            tests.append(
+                lambda actual, choices=choices: any(
+                    _value_matches(actual, item) for item in choices
+                )
+            )
         elif op == "$nin":
-            if any(_value_matches(actual, item) for item in arg):
-                return False
+            choices = list(arg)
+            tests.append(
+                lambda actual, choices=choices: not any(
+                    _value_matches(actual, item) for item in choices
+                )
+            )
         elif op == "$exists":
-            if bool(arg) != (actual is not _MISSING):
-                return False
+            want = bool(arg)
+            tests.append(lambda actual, want=want: want == (actual is not _MISSING))
         elif op == "$regex":
-            if actual is _MISSING or not isinstance(actual, str):
-                return False
-            if re.search(arg, actual) is None:
-                return False
+            rx = re.compile(arg)
+            tests.append(
+                lambda actual, rx=rx: isinstance(actual, str)
+                and rx.search(actual) is not None
+            )
         elif op == "$all":
-            if not isinstance(actual, Sequence) or isinstance(actual, (str, bytes)):
-                return False
-            if not all(item in actual for item in arg):
-                return False
+            needed = list(arg)
+            tests.append(
+                lambda actual, needed=needed: _is_array(actual)
+                and all(item in actual for item in needed)
+            )
         elif op == "$size":
-            if not isinstance(actual, Sequence) or isinstance(actual, (str, bytes)):
-                return False
-            if len(actual) != arg:
-                return False
+            tests.append(
+                lambda actual, size=arg: _is_array(actual) and len(actual) == size
+            )
         elif op == "$elemMatch":
             if not isinstance(arg, Mapping) or not arg:
                 raise ValueError("$elemMatch takes a non-empty query document")
-            if not isinstance(actual, Sequence) or isinstance(actual, (str, bytes)):
-                return False
             if _is_operator_doc(arg):
                 # Operator form: some element satisfies all operators.
-                if not any(_apply_operators(item, arg) for item in actual):
-                    return False
+                inner_ops = _compile_operators(arg)
+                tests.append(
+                    lambda actual, inner=inner_ops: _is_array(actual)
+                    and any(inner(item) for item in actual)
+                )
             else:
                 # Document form: some element is a document matching the
                 # full sub-query (Mongo's array-of-documents case).
-                if not any(
-                    isinstance(item, Mapping) and matches(item, arg)
-                    for item in actual
-                ):
-                    return False
+                sub = compile_query(arg)
+                tests.append(
+                    lambda actual, sub=sub: _is_array(actual)
+                    and any(
+                        isinstance(item, Mapping) and sub(item) for item in actual
+                    )
+                )
         elif op == "$not":
-            inner = arg if _is_operator_doc(arg) else {"$eq": arg}
-            if _apply_operators(actual, inner):
-                return False
+            inner = _compile_operators(arg if _is_operator_doc(arg) else {"$eq": arg})
+            tests.append(lambda actual, inner=inner: not inner(actual))
         else:
             raise ValueError(f"unsupported query operator {op!r}")
-    return True
+    if len(tests) == 1:
+        return tests[0]
+    return lambda actual: all(test(actual) for test in tests)
 
 
-def matches(document: Mapping[str, Any], query: Mapping[str, Any] | None) -> bool:
-    """True when ``document`` satisfies ``query`` (``None``/{} match all)."""
+def compile_query(
+    query: Mapping[str, Any] | None,
+) -> Callable[[Mapping[str, Any]], bool]:
+    """Compile ``query`` into a reusable ``document -> bool`` matcher.
+
+    Invalid queries (unknown operators, malformed ``$elemMatch``) raise
+    ``ValueError`` at compile time; the returned closure itself never
+    parses the query again, making it the right shape for store scans
+    that test one query against many documents.
+    """
     if not query:
-        return True
+        return lambda document: True
+    preds: list[Callable[[Mapping[str, Any]], bool]] = []
     for key, condition in query.items():
         if key == "$and":
-            if not all(matches(document, sub) for sub in condition):
-                return False
+            subs = [compile_query(sub) for sub in condition]
+            preds.append(lambda doc, subs=subs: all(sub(doc) for sub in subs))
         elif key == "$or":
-            if not any(matches(document, sub) for sub in condition):
-                return False
+            subs = [compile_query(sub) for sub in condition]
+            preds.append(lambda doc, subs=subs: any(sub(doc) for sub in subs))
         elif key == "$nor":
-            if any(matches(document, sub) for sub in condition):
-                return False
+            subs = [compile_query(sub) for sub in condition]
+            preds.append(lambda doc, subs=subs: not any(sub(doc) for sub in subs))
         elif key.startswith("$"):
             raise ValueError(f"unsupported top-level operator {key!r}")
         else:
-            actual = get_path(document, key)
+            parts = key.split(".")
             if _is_operator_doc(condition):
-                if not _apply_operators(actual, condition):
-                    return False
+                ops = _compile_operators(condition)
+                preds.append(
+                    lambda doc, parts=parts, ops=ops: ops(_walk_path(doc, parts))
+                )
             else:
-                if not _value_matches(actual, condition):
-                    return False
-    return True
+                preds.append(
+                    lambda doc, parts=parts, expected=condition: _value_matches(
+                        _walk_path(doc, parts), expected
+                    )
+                )
+    if len(preds) == 1:
+        return preds[0]
+    return lambda document: all(pred(document) for pred in preds)
+
+
+def matches(document: Mapping[str, Any], query: Mapping[str, Any] | None) -> bool:
+    """True when ``document`` satisfies ``query`` (``None``/{} match all).
+
+    One-shot convenience over :func:`compile_query`; callers testing one
+    query against many documents should compile once instead.
+    """
+    return compile_query(query)(document)

@@ -51,11 +51,10 @@ def reference():
 def _delete_one_cell(store, name: str) -> str:
     """Remove one artifact from the ledger; returns its cell digest."""
     victim_digest = sorted(completed_cells(store, name))[0]
-    for pid, profile in store._iter_profiles():
-        if f"cell={victim_digest}" in profile.tags:
-            store.delete(pid)
-            return victim_digest
-    raise AssertionError("victim cell not found")
+    victims = store.ids_for(tags=[f"campaign={name}", f"cell={victim_digest}"])
+    assert victims, "victim cell not found"
+    store.delete(victims[0])
+    return victim_digest
 
 
 class TestCorruptLedgerEntries:
@@ -100,9 +99,7 @@ class TestCorruptLedgerEntries:
         store = MemoryStore()
         run_campaign(spec, store)
         digest = sorted(completed_cells(store, spec.name))[0]
-        duplicate = next(
-            p for _pid, p in store._iter_profiles() if f"cell={digest}" in p.tags
-        )
+        [duplicate] = store.get_many(store.ids_for(tags=[f"cell={digest}"]))
         store.put(duplicate)
         assert store.count() == spec.n_cells + 1
         report = run_campaign(spec, store)
@@ -153,10 +150,10 @@ class TestShardCrashRecovery:
         class ExplodingStore(MemoryStore):
             explode = True
 
-            def find(self, command=None, tags=None, query=None):
+            def entries(self, command=None, tags=None):
                 if self.explode and command == CLAIM_COMMAND:
                     raise StoreError("nfs hiccup")
-                return super().find(command, tags, query)
+                return super().entries(command, tags)
 
         store = ExplodingStore()
         with pytest.raises(StoreError):
@@ -233,10 +230,10 @@ class TestDoubleClaimedCells:
         class CountingStore(MemoryStore):
             claim_scans = 0
 
-            def find(self, command=None, tags=None, query=None):
+            def entries(self, command=None, tags=None):
                 if command == CLAIM_COMMAND:
                     self.claim_scans += 1
-                return super().find(command, tags, query)
+                return super().entries(command, tags)
 
         store = CountingStore()
         report = run_campaign(spec, store, claim=True, checkpoint=2)
@@ -254,8 +251,7 @@ class TestDoubleClaimedCells:
         # ledger state it started from, re-executing its cells.
         rerun_store = MemoryStore()
         run_campaign(spec, rerun_store, shard=(0, 2), claim=False)
-        for _pid, profile in rerun_store._iter_profiles():
-            store.put(profile)
+        store.put_many(rerun_store.get_many(rerun_store.ids_for()))
         assert store.count() == 2 * len(shard_cells(spec.cells(), (0, 2)))
         report = run_campaign(spec, store)  # completes shard 1's cells
         assert report.complete

@@ -209,3 +209,69 @@ def test_self_equality_matches(doc, key):
 @given(documents, st.integers(-5, 5))
 def test_eq_and_ne_are_complements(doc, value):
     assert matches(doc, {"a": {"$eq": value}}) != matches(doc, {"a": {"$ne": value}})
+
+
+class TestCompileQuery:
+    """compile_query: one parse, many documents, identical semantics."""
+
+    def test_compiled_matcher_is_reusable(self):
+        from repro.storage.query import compile_query
+
+        matcher = compile_query({"machine.cores": {"$gte": 4}})
+        assert matcher(DOC)
+        assert not matcher({"machine": {"cores": 2}})
+        assert matcher(DOC)  # no state leaks between documents
+
+    def test_compiled_equals_matches_on_probe_suite(self):
+        from repro.storage.query import compile_query
+
+        queries = [
+            None,
+            {},
+            {"command": "gmx mdrun"},
+            {"tags": "run=3"},
+            {"machine.name": "thinkie"},
+            {"sample_rate": {"$gt": 1.0, "$lt": 3.0}},
+            {"tags": {"$all": ["run=3"], "$size": 2}},
+            {"command": {"$regex": "^gmx"}},
+            {"nope": {"$exists": False}},
+            {"$or": [{"command": "zzz"}, {"truncated": False}]},
+            {"$nor": [{"command": "zzz"}]},
+            {"command": {"$not": {"$regex": "^mdrun"}}},
+            {"tags": {"$elemMatch": {"$regex": "=1000$"}}},
+        ]
+        docs = [DOC, {}, {"command": "other", "tags": []},
+                {"machine": {"name": "comet"}, "sample_rate": 0.5}]
+        for query in queries:
+            matcher = compile_query(query)
+            for doc in docs:
+                assert matcher(doc) == matches(doc, query), (query, doc)
+
+    def test_regex_precompiled_once(self, monkeypatch):
+        """$regex compiles at query-compile time, not per document."""
+        import re
+
+        from repro.storage import query as query_mod
+
+        compiled = query_mod.compile_query({"command": {"$regex": "^gmx"}})
+        calls = []
+        original = re.compile
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(query_mod.re, "compile", counting)
+        for _ in range(5):
+            assert compiled(DOC)
+        assert calls == []  # matching never re-enters the regex compiler
+
+    def test_invalid_operator_raises_at_compile_time(self):
+        from repro.storage.query import compile_query
+
+        with pytest.raises(ValueError):
+            compile_query({"command": {"$frobnicate": 1}})
+        with pytest.raises(ValueError):
+            compile_query({"$teleport": []})
+        with pytest.raises(ValueError):
+            compile_query({"tags": {"$elemMatch": {}}})
