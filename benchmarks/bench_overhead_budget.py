@@ -51,6 +51,18 @@ def compute_budget():
     emu_rss = result.handle.record.totals()["mem.peak"]
     rows.append(("emulator resident footprint [MB]", emu_rss / (1 << 20)))
     rows.append(("app resident footprint [MB]", prof.totals()["mem.peak"] / (1 << 20)))
+
+    # Telemetry plane's own cost: a span on a dark bus (no sink) is the
+    # per-call price every instrumented hot path pays by default.
+    from repro.telemetry import get_bus, span  # noqa: PLC0415
+
+    assert not get_bus().active
+    n = 50_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with span("budget.probe", item=1) as sp:
+            sp.set(ok=True)
+    rows.append(("dark span cost [us]", (time.perf_counter() - t0) / n * 1e6))
     return rows
 
 
@@ -68,3 +80,4 @@ def test_overhead_budget(benchmark):
     # and shows up in profiles of emulation runs.
     assert values["emulator resident footprint [MB]"] >= EMULATOR_BASE_RSS / (1 << 20)
     assert values["app resident footprint [MB]"] < 10.0
+    assert values["dark span cost [us]"] < 25.0

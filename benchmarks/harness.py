@@ -31,9 +31,36 @@ from repro.core.emulator import EmulationResult
 from repro.core.samples import Profile
 from repro.runtime import RunRequest, get_service
 from repro.sim.backend import SimBackend
+from repro.telemetry import get_registry
 
 #: Machine-readable benchmark results land here (one JSON per benchmark).
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def telemetry_stats() -> dict:
+    """Runtime telemetry accumulated while this benchmark process ran.
+
+    The metrics registry is always on, so by the time a benchmark calls
+    :func:`write_json_result` every request that went through the run
+    service has already been observed — per-request latency percentiles
+    and pool utilization come for free, no instrumentation in the
+    benchmark scripts themselves.
+    """
+    registry = get_registry()
+    stats: dict = {
+        "requests_ok": registry.counter("service.requests.ok"),
+        "requests_failed": registry.counter("service.requests.failed"),
+    }
+    latency = registry.histogram("service.request.seconds")
+    if latency is not None:
+        stats["request_latency_seconds"] = latency.to_dict()
+    utilization = registry.histogram("service.pool.utilization")
+    if utilization is not None:
+        stats["pool_utilization"] = utilization.to_dict()
+    store_put = registry.histogram("store.put.seconds")
+    if store_put is not None:
+        stats["store_put_seconds"] = store_put.to_dict()
+    return stats
 
 
 def write_json_result(name: str, payload: dict, out: str | Path | None = None) -> Path:
@@ -43,13 +70,16 @@ def write_json_result(name: str, payload: dict, out: str | Path | None = None) -
     this with a stable ``name`` (e.g. ``"BENCH_e7_throughput"``) and a
     plain-data payload; the file lands at
     ``benchmarks/results/<name>.json`` (or ``out`` when given) with an
-    environment header, so future runs can be compared mechanically.
+    environment header plus the process's accumulated telemetry
+    (request p50/p99, pool utilization), so future runs can be compared
+    mechanically.
     """
     doc = {
         "benchmark": name,
         "created_unix": time.time(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "telemetry": telemetry_stats(),
         "results": payload,
     }
     path = Path(out) if out is not None else RESULTS_DIR / f"{name}.json"

@@ -46,6 +46,9 @@ from repro.core.metrics import table1_rows
 from repro.core.samples import Profile
 from repro.sim.machines import get_machine, list_machines
 from repro.storage import open_store
+from repro.telemetry import configure as configure_telemetry
+from repro.telemetry import get_bus
+from repro.telemetry.events import LEVELS
 from repro.util.tables import Table
 from repro.util.units import format_bytes, format_duration, format_frequency
 
@@ -54,10 +57,45 @@ __all__ = ["main", "build_parser"]
 _DEFAULT_STORE = "file://.synapse/profiles"
 
 
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared ``--log-level/--log-json/--trace`` flags for every subcommand.
+
+    ``default=SUPPRESS`` keeps a subparser from clobbering a value the
+    main parser already set, so the flags work both before and after the
+    subcommand (``repro --trace t.json campaign ...`` and ``repro
+    campaign ... --trace t.json``).  An unset flag leaves the attribute
+    off the namespace entirely (``set_defaults`` would mutate the shared
+    parent actions' defaults and reintroduce the clobbering);
+    :func:`main` reads the flags with ``getattr`` fallbacks.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry")
+    group.add_argument(
+        "--log-level",
+        choices=sorted(LEVELS, key=LEVELS.get),
+        default=argparse.SUPPRESS,
+        help="emit runtime telemetry as log lines on stderr at this level",
+    )
+    group.add_argument(
+        "--log-json",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="log telemetry as JSON lines (implies --log-level info)",
+    )
+    group.add_argument(
+        "--trace",
+        default=argparse.SUPPRESS,
+        metavar="FILE",
+        help="write a Chrome-trace JSON of the run's spans to FILE",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     from repro import __version__  # noqa: PLC0415 (cycle)
 
+    telemetry = _telemetry_parent()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Synthetic application profiler and emulator (IPPS'16 reproduction)",
@@ -69,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
             "makespan) and '--validate' replays the plan on the simulation "
             "plane to report prediction error."
         ),
+        parents=[telemetry],
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -80,14 +119,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="subcommand", required=True)
 
-    p_profile = sub.add_parser("profile", help="profile a command")
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=[telemetry], **kwargs)
+
+    p_profile = add_parser("profile", help="profile a command")
     p_profile.add_argument("command", help="shell command to profile")
     p_profile.add_argument("--tags", nargs="*", default=[], help="tags (k=v)")
     p_profile.add_argument("--rate", type=float, default=1.0, help="sample rate (Hz)")
     p_profile.add_argument("--machine", default=None, help="simulated machine (sim plane)")
     p_profile.add_argument("--repeats", type=int, default=1)
 
-    p_emulate = sub.add_parser("emulate", help="emulate a stored profile")
+    p_emulate = add_parser("emulate", help="emulate a stored profile")
     p_emulate.add_argument("command", help="stored command to emulate")
     p_emulate.add_argument("--tags", nargs="*", default=[])
     p_emulate.add_argument("--kernel", default="asm", help="compute kernel")
@@ -95,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_emulate.add_argument("--openmp", type=int, default=1, help="OpenMP threads")
     p_emulate.add_argument("--mpi", type=int, default=1, help="MPI processes")
 
-    p_app = sub.add_parser(
+    p_app = add_parser(
         "profile-app", help="profile a simulated application model"
     )
     p_app.add_argument("spec", help="app spec, e.g. gromacs:iterations=1000000")
@@ -104,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_app.add_argument("--rate", type=float, default=1.0)
     p_app.add_argument("--repeats", type=int, default=1)
 
-    p_compare = sub.add_parser(
+    p_compare = add_parser(
         "compare", help="compare two stored profiles (e.g. app vs emulation)"
     )
     p_compare.add_argument("reference", help="reference command")
@@ -112,28 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--reference-tags", nargs="*", default=[])
     p_compare.add_argument("--measured-tags", nargs="*", default=[])
 
-    p_list = sub.add_parser("list", help="list stored profiles")
+    p_list = add_parser("list", help="list stored profiles")
     p_list.add_argument("--command", default=None)
 
-    p_show = sub.add_parser("show", help="show one stored profile")
+    p_show = add_parser("show", help="show one stored profile")
     p_show.add_argument("command")
     p_show.add_argument("--tags", nargs="*", default=[])
 
-    p_stats = sub.add_parser("stats", help="statistics over stored repeats")
+    p_stats = add_parser("stats", help="statistics over stored repeats")
     p_stats.add_argument("command")
     p_stats.add_argument("--tags", nargs="*", default=[])
 
-    p_report = sub.add_parser("report", help="analysis report for a stored profile")
+    p_report = add_parser("report", help="analysis report for a stored profile")
     p_report.add_argument("command")
     p_report.add_argument("--tags", nargs="*", default=[])
 
-    p_export = sub.add_parser("export", help="export a stored profile")
+    p_export = add_parser("export", help="export a stored profile")
     p_export.add_argument("command")
     p_export.add_argument("--tags", nargs="*", default=[])
     p_export.add_argument("--format", choices=("csv", "trace"), default="csv")
     p_export.add_argument("--output", required=True, help="output file path")
 
-    p_predict = sub.add_parser(
+    p_predict = add_parser(
         "predict", help="predict a stored profile's runtime on other machines"
     )
     p_predict.add_argument("command", help="stored command to predict")
@@ -147,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="charge kernel calibration bias (E.3 semantics)",
     )
 
-    p_place = sub.add_parser(
+    p_place = add_parser(
         "place", help="plan workload placement across machines"
     )
     p_place.add_argument("app", help="app spec, e.g. ensemble:width=8,stages=3")
@@ -167,7 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the plan on the sim plane and report prediction error",
     )
 
-    p_campaign = sub.add_parser(
+    p_campaign = add_parser(
         "campaign", help="run or resume a declarative sweep campaign"
     )
     p_campaign.add_argument("spec", help="campaign spec JSON file")
@@ -207,11 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="reference machine for the report's counter-error columns "
              "(default: first machine in the spec)",
     )
+    p_campaign.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the per-wave progress lines",
+    )
 
-    sub.add_parser("machines", help="list simulated machine models")
-    sub.add_parser("metrics", help="print the Table 1 metric inventory")
-    sub.add_parser("kernels", help="list available compute kernels")
-    sub.add_parser("apps", help="list simulated application models")
+    add_parser("machines", help="list simulated machine models")
+    add_parser("metrics", help="print the Table 1 metric inventory")
+    add_parser("kernels", help="list available compute kernels")
+    add_parser("apps", help="list simulated application models")
     return parser
 
 
@@ -386,6 +432,20 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
             Path(args.json).write_text(analysis.to_json(), encoding="utf-8")
         print(analysis.render(args.format).rstrip("\n"), file=out)
         return 0
+    def progress(summary: dict) -> None:
+        print(
+            f"wave {summary['wave']}/{summary['waves']}: "
+            f"{summary['executed']} executed"
+            + (f", {summary['failed']} failed" if summary["failed"] else "")
+            + (f", {summary['deferred']} deferred" if summary["deferred"] else "")
+            + f", completed {summary['completed']}/{summary['total']}"
+            f" ({summary['pending']} pending), "
+            f"{summary['elapsed']:.1f}s elapsed",
+            file=out,
+        )
+        if hasattr(out, "flush"):
+            out.flush()
+
     report = run_campaign(
         spec, store,
         processes=args.processes,
@@ -394,6 +454,7 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
         claim_ttl=(
             args.claim_ttl if args.claim_ttl is not None else DEFAULT_CLAIM_TTL
         ),
+        progress=None if args.quiet else progress,
     )
     print(report.table().render(), file=out)
     for failure in report.failed:
@@ -599,11 +660,20 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.subcommand]
+    sinks = configure_telemetry(
+        log_level=getattr(args, "log_level", None),
+        log_json=getattr(args, "log_json", False),
+        trace=getattr(args, "trace", None),
+    )
     try:
         return handler(args, out)
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        bus = get_bus()
+        for sink in sinks:
+            bus.remove_sink(sink)
 
 
 if __name__ == "__main__":  # pragma: no cover

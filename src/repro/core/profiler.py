@@ -31,6 +31,7 @@ from repro.core.samples import Profile
 from repro.core.sampling import SamplingPolicy, policy_from_config
 from repro.core.tags import normalize_command, normalize_tags
 from repro.storage.base import ProfileStore
+from repro.telemetry.spans import span
 from repro.watchers.base import WatcherBase, WatcherContext, WatcherResult
 from repro.watchers.registry import get_watcher
 
@@ -77,6 +78,22 @@ class Profiler:
         target object's own name is not the desired search key).  The
         profile is stored when the profiler has a store.
         """
+        with span("profile.run", backend=getattr(self.backend, "name", "?")) as sp:
+            profile = self._run(target, tags, command, **spawn_kwargs)
+            sp.set(
+                command=profile.command,
+                samples=profile.n_samples,
+                exit_code=int(profile.info.get("exit_code", 0)),
+            )
+        return profile
+
+    def _run(
+        self,
+        target: Any,
+        tags: object = None,
+        command: str | None = None,
+        **spawn_kwargs: Any,
+    ) -> Profile:
         config = self.config
         policy = policy_from_config(config)
 

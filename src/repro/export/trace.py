@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.samples import Profile
 from repro.sim.engine import ExecutionRecord
 
-__all__ = ["record_to_trace", "profile_to_trace", "dump_trace"]
+__all__ = ["record_to_trace", "profile_to_trace", "events_to_trace", "dump_trace"]
 
 _US = 1e6
 #: Maximum points exported per counter track.
@@ -128,6 +128,60 @@ def profile_to_trace(profile: Profile, pid: int = 1) -> dict[str, Any]:
             "tags": list(profile.tags),
             "machine": str(profile.machine.get("name", "?")),
             "tx_s": profile.tx,
+        },
+    }
+
+
+def events_to_trace(events) -> dict[str, Any]:
+    """Convert runtime telemetry events to a trace-event document.
+
+    The runtime counterpart of :func:`record_to_trace`: span events
+    (:class:`repro.telemetry.Event` with ``kind="span"``) become
+    duration (``X``) events laid out from the earliest timestamp, plain
+    events become instants (``i``).  Each emitting process gets its own
+    ``pid`` track (pool workers show up beside the parent), and every
+    span's identity (``span_id``/``parent_id``) and CPU seconds travel
+    in ``args`` — the parent chain is what stitches pooled per-request
+    spans under their submitting wave span.
+
+    Accepts :class:`~repro.telemetry.events.Event` objects or their
+    ``to_dict`` form, so JSONL log files replay into traces too.
+    """
+    records = [
+        event.to_dict() if hasattr(event, "to_dict") else dict(event)
+        for event in events
+    ]
+    base = min((record["ts"] for record in records), default=0.0)
+    trace_events: list[dict[str, Any]] = []
+    for record in records:
+        args = dict(record.get("attrs", ()))
+        if record.get("span_id") is not None:
+            args["span_id"] = record["span_id"]
+        if record.get("parent_id") is not None:
+            args["parent_id"] = record["parent_id"]
+        common = {
+            "name": record["name"],
+            "cat": "runtime",
+            "ts": (record["ts"] - base) * _US,
+            "pid": record.get("pid", 0),
+            "tid": record.get("tid", 0),
+            "args": args,
+        }
+        if record.get("kind") == "span":
+            if record.get("cpu") is not None:
+                args["cpu_s"] = record["cpu"]
+            trace_events.append(
+                {**common, "ph": "X", "dur": (record.get("dur") or 0.0) * _US}
+            )
+        else:
+            trace_events.append({**common, "ph": "i", "s": "t"})
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.telemetry",
+            "events": len(trace_events),
+            "base_unix_ts": base,
         },
     }
 

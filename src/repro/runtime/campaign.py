@@ -63,6 +63,8 @@ from typing import Any, Mapping
 from repro.core.errors import ConfigError
 from repro.core.samples import Profile
 from repro.runtime.service import RunPolicy, RunRequest, RunService, get_service
+from repro.telemetry.events import get_bus
+from repro.telemetry.spans import span
 from repro.util.tables import Table
 
 __all__ = [
@@ -480,11 +482,16 @@ def _claim_wave(
         return list(wave), [], claim_ids, False
     try:
         existing = claims(store, name)
-        if any(
-            now - entry[0] > ttl
+        stale_seen = sum(
+            1
             for entries in existing.values()
             for entry in entries
-        ):
+            if now - entry[0] > ttl
+        )
+        if stale_seen:
+            get_bus().event(
+                "campaign.claim.gc", campaign=name, stale=stale_seen, ttl=ttl
+            )
             _gc_stale_claims(store, name, ttl, now)
         # Any live foreign claim — even on a cell outside this wave —
         # means a concurrent invocation is active and later waves must
@@ -503,6 +510,12 @@ def _claim_wave(
             ]
             winner = min(live, default=(now, owner))
             (mine if winner[1] == owner else deferred).append(cell)
+        if deferred:
+            get_bus().event(
+                "campaign.claim.contention", level="warning",
+                campaign=name, owner=owner, deferred=len(deferred),
+                cells=[cell.digest for cell in deferred],
+            )
     except BaseException:
         # The read-back died (store error mid-scan, Ctrl-C) before the
         # caller could take ownership of claim_ids: delete our markers
@@ -608,6 +621,7 @@ def run_campaign(
     shard: Any = None,
     claim: bool | None = None,
     claim_ttl: float = DEFAULT_CLAIM_TTL,
+    progress: Any = None,
 ) -> CampaignReport:
     """Execute (or resume) a campaign sweep against its store ledger.
 
@@ -625,6 +639,16 @@ def run_campaign(
     toggles the wave-level cell claiming that serialises overlapping
     invocations (default: on exactly when sharded); ``claim_ttl`` is
     how long a foreign claim defers a cell before it is presumed dead.
+
+    ``progress`` is an optional per-wave callback receiving a summary
+    dict (``wave``, ``waves``, ``claimed``, ``executed``, ``failed``,
+    ``deferred``, ``completed``, ``pending``, ``elapsed``) after each
+    wave is persisted — the CLI's live progress lines.  Telemetry: the
+    sweep runs under a ``campaign.run`` span with one ``campaign.wave``
+    span per wave (pooled per-request spans stitch under it) and emits
+    ``campaign.start`` / ``campaign.wave.finish`` /
+    ``campaign.claim.contention`` / ``campaign.claim.gc`` /
+    ``campaign.finish`` events on the process bus.
     """
     if not isinstance(spec, CampaignSpec):
         spec = CampaignSpec.from_dict(spec)
@@ -632,6 +656,7 @@ def run_campaign(
     shard_id = None if shard is None else parse_shard(shard)
     use_claims = claim if claim is not None else shard_id is not None
     owner = f"{os.getpid():x}-{secrets.token_hex(4)}"
+    shard_label = None if shard_id is None else f"{shard_id[0]}/{shard_id[1]}"
     cells = spec.cells()
     done = completed_cells(store, spec.name)
     pending = [cell for cell in cells if cell.digest not in done]
@@ -644,55 +669,103 @@ def run_campaign(
         pending = pending[: max(0, limit)]
         truncated = True
 
+    bus = get_bus()
     executed = 0
     deferred = 0
     failures: list[dict[str, str]] = []
     start = time.perf_counter()
-    # The first claimed wave always scans for rivals; later waves only
-    # keep paying the marker read-back while rivals are actually
-    # live.  A rival appearing *after* scanning stops goes unseen — the
-    # worst case is a duplicate, bit-identical artifact, which resume
-    # and analysis dedupe by digest.
-    scan_claims = True
-    for wave_start in range(0, len(pending), max(1, checkpoint)):
-        wave = pending[wave_start : wave_start + max(1, checkpoint)]
-        claim_ids: list[str] = []
-        if use_claims:
-            wave, lost, claim_ids, rivals = _claim_wave(
-                store, spec.name, wave, owner, claim_ttl, scan=scan_claims
-            )
-            scan_claims = rivals
-            deferred += len(lost)
-        try:
-            requests, runnable = [], []
-            for cell in wave:
+    step = max(1, checkpoint)
+    n_waves = (len(pending) + step - 1) // step
+    with span(
+        "campaign.run", level="info", campaign=spec.name, total=len(cells),
+        skipped=skipped, assigned=assigned, shard=shard_label, owner=owner,
+    ) as campaign_span:
+        bus.event(
+            "campaign.start", campaign=spec.name, total=len(cells),
+            skipped=skipped, assigned=assigned, waves=n_waves,
+            shard=shard_label, owner=owner,
+        )
+        # The first claimed wave always scans for rivals; later waves only
+        # keep paying the marker read-back while rivals are actually
+        # live.  A rival appearing *after* scanning stops goes unseen — the
+        # worst case is a duplicate, bit-identical artifact, which resume
+        # and analysis dedupe by digest.
+        scan_claims = True
+        for wave_no, wave_start in enumerate(range(0, len(pending), step), start=1):
+            wave = pending[wave_start : wave_start + step]
+            wave_executed = wave_failed = wave_deferred = 0
+            with span(
+                "campaign.wave", level="info", campaign=spec.name,
+                wave=wave_no, waves=n_waves, cells=len(wave),
+            ) as wave_span:
+                claim_ids: list[str] = []
+                if use_claims:
+                    wave, lost, claim_ids, rivals = _claim_wave(
+                        store, spec.name, wave, owner, claim_ttl, scan=scan_claims
+                    )
+                    scan_claims = rivals
+                    deferred += len(lost)
+                    wave_deferred = len(lost)
                 try:
-                    requests.append(cell.to_request())
-                    runnable.append(cell)
-                except Exception as exc:  # unknown app spec, bad config, ...
-                    failures.append(
-                        {"cell": cell.digest, "app": cell.app,
-                         "machine": cell.machine, "error": repr(exc)}
-                    )
-            results = svc.run(requests, processes=processes, rethrow=False)
-            artifacts = []
-            for cell, result in zip(runnable, results):
-                if result.ok:
-                    artifacts.append(cell.artifact(result.value))
-                    executed += 1
-                else:
-                    failures.append(
-                        {"cell": cell.digest, "app": cell.app,
-                         "machine": cell.machine,
-                         "error": result.error or "unknown error"}
-                    )
-            if artifacts:
-                store.put_many(artifacts)
-        finally:
-            # Claims outlive an invocation only when it is killed hard
-            # (no chance to clean up) — exactly the case claim_ttl
-            # staleness exists for.
-            _delete_claims(store, claim_ids)
+                    requests, runnable = [], []
+                    for cell in wave:
+                        try:
+                            requests.append(cell.to_request())
+                            runnable.append(cell)
+                        except Exception as exc:  # unknown app spec, bad config, ...
+                            failures.append(
+                                {"cell": cell.digest, "app": cell.app,
+                                 "machine": cell.machine, "error": repr(exc)}
+                            )
+                            wave_failed += 1
+                    results = svc.run(requests, processes=processes, rethrow=False)
+                    artifacts = []
+                    for cell, result in zip(runnable, results):
+                        if result.ok:
+                            artifacts.append(cell.artifact(result.value))
+                            executed += 1
+                            wave_executed += 1
+                        else:
+                            failures.append(
+                                {"cell": cell.digest, "app": cell.app,
+                                 "machine": cell.machine,
+                                 "error": result.error or "unknown error"}
+                            )
+                            wave_failed += 1
+                    if artifacts:
+                        store.put_many(artifacts)
+                finally:
+                    # Claims outlive an invocation only when it is killed hard
+                    # (no chance to clean up) — exactly the case claim_ttl
+                    # staleness exists for.
+                    _delete_claims(store, claim_ids)
+                wave_span.set(
+                    executed=wave_executed, failed=wave_failed,
+                    deferred=wave_deferred,
+                )
+            summary = {
+                "campaign": spec.name,
+                "wave": wave_no,
+                "waves": n_waves,
+                "total": len(cells),
+                "claimed": len(wave),
+                "executed": wave_executed,
+                "failed": wave_failed,
+                "deferred": wave_deferred,
+                "completed": skipped + executed,
+                "pending": len(cells) - skipped - executed,
+                "elapsed": time.perf_counter() - start,
+            }
+            bus.event("campaign.wave.finish", **summary)
+            if progress is not None:
+                progress(dict(summary))
+        campaign_span.set(executed=executed, failed=len(failures),
+                          deferred=deferred)
+        bus.event(
+            "campaign.finish", campaign=spec.name, executed=executed,
+            failed=len(failures), deferred=deferred,
+            seconds=time.perf_counter() - start,
+        )
 
     return CampaignReport(
         name=spec.name,

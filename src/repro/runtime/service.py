@@ -28,6 +28,9 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.multiproc import ParallelFallbackWarning, _serial_map, get_shared
+from repro.telemetry.events import get_bus
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import activate_context, pack_context, span
 
 __all__ = [
     "ParallelFallbackWarning",
@@ -218,8 +221,8 @@ class RunResult:
     ok: bool
     value: Any = None
     #: Failure description when ``ok`` is False: the request context
-    #: followed by the exception, e.g.
-    #: ``"profile request key=<digest> (attempt 2/2): ValueError(...)"``.
+    #: followed by the exception, e.g. ``"profile request key=<digest>
+    #: (attempt 2/2, 0.173s in attempt): ValueError(...)"``.
     error: str | None = None
     #: Wall-clock execution time of this request (seconds, as measured
     #: where it ran — inside the worker for pooled requests).
@@ -251,11 +254,11 @@ def _split_chunks(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
     return chunks
 
 
-def _run_chunk(payload: bytes) -> list[tuple[bool, Any]]:
+def _run_chunk(payload: bytes) -> tuple[list[tuple[bool, Any]], list[Any]]:
     """Worker-side chunk executor.
 
-    ``payload`` is the parent-pickled ``(fn, shared, chunk)`` triple:
-    pickling in the parent (instead of the executor's queue-feeder
+    ``payload`` is the parent-pickled ``(fn, shared, chunk, telemetry)``
+    tuple: pickling in the parent (instead of the executor's queue-feeder
     thread) turns an unpicklable ``fn``/payload into a synchronous
     error the serial fallback handles — feeder-thread pickling failures
     deadlock ProcessPoolExecutor shutdown on some CPython versions.
@@ -263,23 +266,31 @@ def _run_chunk(payload: bytes) -> list[tuple[bool, Any]]:
     ``fn``'s own exceptions are separated from pool infrastructure
     failures exactly like :func:`repro.core.multiproc.parallel_map`'s
     contract requires.
+
+    ``telemetry`` is the parent's packed span context (or ``None`` when
+    the parent's bus is dark): the chunk runs under it, every event the
+    worker emits is captured, and the buffered events return alongside
+    the outcomes so the parent can replay them into its sinks — that is
+    how spans opened inside pool workers stitch under the span that
+    submitted the batch.
     """
     import pickle  # noqa: PLC0415 - worker side
 
     from repro.core.multiproc import _install_shared  # noqa: PLC0415 (cycle)
 
-    fn, shared, chunk = pickle.loads(payload)
+    fn, shared, chunk, telemetry = pickle.loads(payload)
     previous = get_shared()
     if shared is not None:
         _install_shared(shared)
     try:
-        outcomes: list[tuple[bool, Any]] = []
-        for item in chunk:
-            try:
-                outcomes.append((True, fn(item)))
-            except BaseException as exc:  # noqa: BLE001 - re-raised in the parent
-                outcomes.append((False, exc))
-        return outcomes
+        with activate_context(telemetry) as events:
+            outcomes: list[tuple[bool, Any]] = []
+            for item in chunk:
+                try:
+                    outcomes.append((True, fn(item)))
+                except BaseException as exc:  # noqa: BLE001 - re-raised in the parent
+                    outcomes.append((False, exc))
+            return outcomes, list(events) if events is not None else []
     finally:
         if shared is not None:
             _install_shared(previous)
@@ -287,55 +298,94 @@ def _run_chunk(payload: bytes) -> list[tuple[bool, Any]]:
 
 def _attempt_request(
     request: RunRequest, target: Any, machine: Any
-) -> tuple[bool, float, Any, int]:
+) -> tuple[bool, float, Any, int, float]:
     """Execute one request under its policy.
 
-    Returns ``(ok, seconds, value_or_exception, attempt)`` where
-    ``attempt`` is the 1-based attempt that produced the outcome and
-    ``seconds`` covers all attempts including backoff sleeps.  Failed
-    attempts retry up to ``policy.retries`` times; an attempt exceeding
-    ``policy.timeout`` counts as failed with :class:`RunTimeoutError`.
+    Returns ``(ok, seconds, value_or_exception, attempt, attempt_seconds)``
+    where ``attempt`` is the 1-based attempt that produced the outcome,
+    ``seconds`` covers all attempts including backoff sleeps and
+    ``attempt_seconds`` is the wall-clock time spent *inside* the
+    deciding attempt (what failure messages report as time-in-attempt).
+    Failed attempts retry up to ``policy.retries`` times; an attempt
+    exceeding ``policy.timeout`` counts as failed with
+    :class:`RunTimeoutError`.
+
+    Emits one ``run.request`` span per request (kind, key, deciding
+    attempt, retry/timeout outcome) — in the pool worker for pooled
+    requests, whence it stitches under the submitting batch's span.
     """
     from repro.runtime.execute import dispatch  # noqa: PLC0415 (cycle)
 
     policy = request.policy if request.policy is not None else RunPolicy()
-    start = time.perf_counter()
-    outcome: Any = None
-    for attempt in range(1, policy.attempts + 1):
-        attempt_start = time.perf_counter()
-        try:
-            value = dispatch(request, target, machine)
-            elapsed = time.perf_counter() - attempt_start
-            if policy.timeout is not None and elapsed > policy.timeout:
-                raise RunTimeoutError(
-                    f"attempt took {elapsed:.3f}s, over the "
-                    f"{policy.timeout:g}s policy timeout"
-                )
-            return True, time.perf_counter() - start, value, attempt
-        except Exception as exc:  # noqa: BLE001 - surfaced as RunResult / re-raised
-            outcome = exc
-            if attempt < policy.attempts and policy.backoff > 0:
-                time.sleep(policy.backoff * attempt)
-    return False, time.perf_counter() - start, outcome, policy.attempts
+    with span("run.request", kind=request.kind, key=request.key) as sp:
+        start = time.perf_counter()
+        outcome: Any = None
+        attempt_elapsed = 0.0
+        for attempt in range(1, policy.attempts + 1):
+            attempt_start = time.perf_counter()
+            try:
+                value = dispatch(request, target, machine)
+                attempt_elapsed = time.perf_counter() - attempt_start
+                if policy.timeout is not None and attempt_elapsed > policy.timeout:
+                    raise RunTimeoutError(
+                        f"attempt took {attempt_elapsed:.3f}s, over the "
+                        f"{policy.timeout:g}s policy timeout"
+                    )
+                sp.set(ok=True, attempt=attempt, attempts=policy.attempts)
+                return True, time.perf_counter() - start, value, attempt, \
+                    attempt_elapsed
+            except Exception as exc:  # noqa: BLE001 - surfaced as RunResult / re-raised
+                attempt_elapsed = time.perf_counter() - attempt_start
+                outcome = exc
+                if attempt < policy.attempts:
+                    get_bus().event(
+                        "run.retry", level="debug", kind=request.kind,
+                        key=request.key, attempt=attempt,
+                        attempt_seconds=attempt_elapsed, error=repr(exc),
+                    )
+                    if policy.backoff > 0:
+                        time.sleep(policy.backoff * attempt)
+        sp.set(
+            ok=False, attempt=policy.attempts, attempts=policy.attempts,
+            timeout=isinstance(outcome, RunTimeoutError), error=repr(outcome),
+        )
+        return False, time.perf_counter() - start, outcome, policy.attempts, \
+            attempt_elapsed
 
 
-def _failure_context(request: RunRequest, attempt: int) -> str:
+def _failure_context(
+    request: RunRequest, attempt: int, attempt_seconds: float | None = None
+) -> str:
     """Human-readable request identity for failure messages.
 
     Surfaces what a bare traceback loses once a request has crossed the
     pool: the request kind, the caller-assigned key (a campaign's cell
-    digest) and which attempt of the policy budget failed.
+    digest), which attempt of the policy budget failed, and how long
+    that attempt ran before failing (so a stuck cell is distinguishable
+    from an instant crash in the campaign's failure report).
     """
     policy = request.policy if request.policy is not None else RunPolicy()
     key = f" key={request.key}" if request.key is not None else ""
-    return f"{request.kind} request{key} (attempt {attempt}/{policy.attempts})"
+    elapsed = (
+        f", {attempt_seconds:.3f}s in attempt" if attempt_seconds is not None else ""
+    )
+    return (
+        f"{request.kind} request{key} "
+        f"(attempt {attempt}/{policy.attempts}{elapsed})"
+    )
 
 
-def _failure_message(request: RunRequest, exc: BaseException, attempt: int) -> str:
-    return f"{_failure_context(request, attempt)}: {exc!r}"
+def _failure_message(
+    request: RunRequest, exc: BaseException, attempt: int,
+    attempt_seconds: float | None = None,
+) -> str:
+    return f"{_failure_context(request, attempt, attempt_seconds)}: {exc!r}"
 
 
-def _rethrow(request: RunRequest, exc: BaseException, attempt: int) -> None:
+def _rethrow(
+    request: RunRequest, exc: BaseException, attempt: int,
+    attempt_seconds: float | None = None,
+) -> None:
     """Re-raise a request's exception, annotated with its context.
 
     The original exception type is preserved (callers match on it); the
@@ -343,13 +393,15 @@ def _rethrow(request: RunRequest, exc: BaseException, attempt: int) -> None:
     supports them (3.11+).
     """
     if hasattr(exc, "add_note"):
-        exc.add_note(f"while executing {_failure_context(request, attempt)}")
+        exc.add_note(
+            f"while executing {_failure_context(request, attempt, attempt_seconds)}"
+        )
     raise exc
 
 
 def _execute_packed(
     item: tuple[RunRequest, int, int]
-) -> tuple[bool, float, Any, int]:
+) -> tuple[bool, float, Any, int, float]:
     """Execute one packed request against the shared target/machine tables."""
     request, target_slot, machine_slot = item
     targets, machines = get_shared()
@@ -455,19 +507,30 @@ class RunService:
         workers = self.resolve_workers(processes, len(items))
         if workers <= 1:
             return _serial_map(fn, items, shared)
+        bus = get_bus()
         try:
             import pickle  # noqa: PLC0415 - parallel path only
 
+            # The packed span context rides inside each chunk payload:
+            # worker-side spans adopt the currently open span (e.g. a
+            # campaign wave) as their parent and their events return
+            # with the chunk results for replay below.
+            telemetry = pack_context()
             # Pickle each chunk payload here, not in the executor's
             # feeder thread: unpicklable payloads then fail fast into
             # the serial fallback instead of wedging the pool.
             payloads = [
-                pickle.dumps((fn, shared, chunk))
+                pickle.dumps((fn, shared, chunk, telemetry))
                 for chunk in _split_chunks(items, workers * CHUNKS_PER_WORKER)
             ]
             pool = self._ensure_pool(workers)
             futures = [pool.submit(_run_chunk, payload) for payload in payloads]
-            outcomes = [outcome for future in futures for outcome in future.result()]
+            outcomes = []
+            for future in futures:
+                chunk_outcomes, events = future.result()
+                if events:
+                    bus.replay(events)
+                outcomes.extend(chunk_outcomes)
         except Exception as exc:  # noqa: BLE001 - infra boundary, see below
             # Pool infrastructure failed (fn exceptions are captured
             # inside _run_chunk and never land here).  Degrade to the
@@ -509,40 +572,71 @@ class RunService:
         self.stats["batches"] += 1
         self.stats["requests"] += len(requests)
         results: list[RunResult | None] = [None] * len(requests)
+        registry = get_registry()
+        batch_start = time.perf_counter()
 
-        pooled = [i for i, request in enumerate(requests) if request.poolable]
-        if pooled:
-            targets, machines, items = _pack(requests, pooled)
-            outcomes = self.map(
-                _execute_packed, items, processes=processes, shared=(targets, machines)
-            )
-            for i, (ok, seconds, value, attempt) in zip(pooled, outcomes):
-                if not ok and rethrow:
-                    _rethrow(requests[i], value, attempt)
-                results[i] = RunResult(
-                    request=requests[i],
-                    ok=ok,
-                    value=value if ok else None,
-                    error=None if ok else _failure_message(requests[i], value, attempt),
-                    seconds=seconds,
+        with span(
+            "service.run", requests=len(requests),
+            pooled=sum(1 for request in requests if request.poolable),
+        ) as sp:
+            pooled = [i for i, request in enumerate(requests) if request.poolable]
+            workers = self.resolve_workers(processes, len(pooled))
+            if pooled:
+                targets, machines, items = _pack(requests, pooled)
+                outcomes = self.map(
+                    _execute_packed, items, processes=processes,
+                    shared=(targets, machines),
                 )
-        for i, request in enumerate(requests):
-            if results[i] is None:
-                results[i] = self._execute_local(request, rethrow)
+                for i, (ok, seconds, value, attempt, in_attempt) in zip(
+                    pooled, outcomes
+                ):
+                    if not ok and rethrow:
+                        _rethrow(requests[i], value, attempt, in_attempt)
+                    results[i] = RunResult(
+                        request=requests[i],
+                        ok=ok,
+                        value=value if ok else None,
+                        error=None if ok else _failure_message(
+                            requests[i], value, attempt, in_attempt
+                        ),
+                        seconds=seconds,
+                    )
+            for i, request in enumerate(requests):
+                if results[i] is None:
+                    results[i] = self._execute_local(request, rethrow)
+            sp.set(workers=workers)
+
+        # Telemetry-derived service metrics (always on; the benchmark
+        # harness folds these into its committed results): per-request
+        # latency and — for pooled batches — pool utilization, i.e. the
+        # fraction of worker*wall capacity spent inside requests.
+        busy = 0.0
+        for result in results:
+            registry.observe("service.request.seconds", result.seconds)
+            registry.inc(
+                "service.requests.ok" if result.ok else "service.requests.failed"
+            )
+            busy += result.seconds
+        if pooled and workers > 1:
+            wall = time.perf_counter() - batch_start
+            if wall > 0:
+                utilization = min(1.0, busy / (wall * workers))
+                registry.observe("service.pool.utilization", utilization)
+                registry.set_gauge("service.pool.utilization", utilization)
         return results  # type: ignore[return-value]
 
     @staticmethod
     def _execute_local(request: RunRequest, rethrow: bool) -> RunResult:
-        ok, seconds, value, attempt = _attempt_request(
+        ok, seconds, value, attempt, in_attempt = _attempt_request(
             request, request.target, request.machine
         )
         if ok:
             return RunResult(request=request, ok=True, value=value, seconds=seconds)
         if rethrow:
-            _rethrow(request, value, attempt)
+            _rethrow(request, value, attempt, in_attempt)
         return RunResult(
             request=request, ok=False,
-            error=_failure_message(request, value, attempt),
+            error=_failure_message(request, value, attempt, in_attempt),
             seconds=seconds,
         )
 

@@ -69,6 +69,7 @@ from repro.sim.demands import (
 from repro.sim.noise import NoiseModel
 from repro.sim.resource import MachineSpec
 from repro.sim.workload import Phase, SimWorkload
+from repro.telemetry.spans import span
 from repro.util.timeseries import TimeSeries
 
 __all__ = ["Engine", "ExecutionRecord", "IOEvent"]
@@ -563,6 +564,14 @@ class Engine:
 
     def run(self, workload: SimWorkload) -> ExecutionRecord:
         """Execute a workload; returns its full observable history."""
+        with span(
+            "engine.run", workload=workload.name, machine=self.machine.name
+        ) as sp:
+            record = self._run(workload)
+            sp.set(demands=workload.n_demands, sim_duration=record.duration)
+        return record
+
+    def _run(self, workload: SimWorkload) -> ExecutionRecord:
         g = self._gather(workload)
         n = g.n
 

@@ -34,6 +34,7 @@ from repro.core.errors import ProfileNotFoundError, StoreError
 from repro.core.samples import Profile
 from repro.core.tags import normalize_command, normalize_tags, tags_match
 from repro.storage.query import compile_query
+from repro.telemetry.metrics import timed
 
 __all__ = ["ProfileStore", "MemoryStore", "StoreEntry"]
 
@@ -225,10 +226,11 @@ class MemoryStore(ProfileStore):
         self._next_id = 0
 
     def put(self, profile: Profile) -> str:
-        pid = f"mem-{self._next_id}"
-        self._next_id += 1
-        self._profiles[pid] = profile
-        self._by_key.setdefault((profile.command, profile.tags), []).append(pid)
+        with timed("store.put.seconds"):
+            pid = f"mem-{self._next_id}"
+            self._next_id += 1
+            self._profiles[pid] = profile
+            self._by_key.setdefault((profile.command, profile.tags), []).append(pid)
         return pid
 
     def delete(self, pid: str) -> None:
@@ -273,19 +275,21 @@ class MemoryStore(ProfileStore):
     def entries(
         self, command: object = None, tags: object = None
     ) -> list[StoreEntry]:
-        found = [
-            StoreEntry(pid, p.command, p.tags, p.created)
-            for pid in self._candidate_ids(command, tags)
-            for p in (self._profiles[pid],)
-        ]
-        found.sort(key=lambda entry: entry.created)
+        with timed("store.entries.seconds"):
+            found = [
+                StoreEntry(pid, p.command, p.tags, p.created)
+                for pid in self._candidate_ids(command, tags)
+                for p in (self._profiles[pid],)
+            ]
+            found.sort(key=lambda entry: entry.created)
         return found
 
     def get_many(self, ids) -> list[Profile]:
-        try:
-            return [self._profiles[pid] for pid in ids]
-        except KeyError as exc:
-            raise StoreError(f"no stored profile {exc.args[0]!r}") from exc
+        with timed("store.get.seconds"):
+            try:
+                return [self._profiles[pid] for pid in ids]
+            except KeyError as exc:
+                raise StoreError(f"no stored profile {exc.args[0]!r}") from exc
 
     def find(
         self,
@@ -293,15 +297,17 @@ class MemoryStore(ProfileStore):
         tags: object = None,
         query: Mapping[str, Any] | None = None,
     ) -> list[Profile]:
-        candidates = [
-            (pid, self._profiles[pid]) for pid in self._candidate_ids(command, tags)
-        ]
-        if query is not None:
-            matcher = compile_query(query)
+        with timed("store.find.seconds"):
             candidates = [
-                (pid, profile)
-                for pid, profile in candidates
-                if matcher(profile.to_dict())
+                (pid, self._profiles[pid])
+                for pid in self._candidate_ids(command, tags)
             ]
-        candidates.sort(key=lambda pair: pair[1].created)
+            if query is not None:
+                matcher = compile_query(query)
+                candidates = [
+                    (pid, profile)
+                    for pid, profile in candidates
+                    if matcher(profile.to_dict())
+                ]
+            candidates.sort(key=lambda pair: pair[1].created)
         return [profile for _pid, profile in candidates]

@@ -65,6 +65,7 @@ from repro.core.samples import Profile
 from repro.core.tags import normalize_command, normalize_tags
 from repro.storage.base import ProfileStore, StoreEntry
 from repro.storage.query import compile_query
+from repro.telemetry.metrics import get_registry, timed
 
 __all__ = ["FileStore", "INDEX_NAME"]
 
@@ -114,10 +115,11 @@ class FileStore(ProfileStore):
     # -- writes ---------------------------------------------------------------
 
     def put(self, profile: Profile) -> str:
-        group = self.root / _key_hash(profile.command, profile.tags)
-        group.mkdir(parents=True, exist_ok=True)
-        pid = self._write(group, profile)
-        self._journal_append(group, [(pid, profile)])
+        with timed("store.put.seconds"):
+            group = self.root / _key_hash(profile.command, profile.tags)
+            group.mkdir(parents=True, exist_ok=True)
+            pid = self._write(group, profile)
+            self._journal_append(group, [(pid, profile)])
         return pid
 
     def put_many(self, profiles: Sequence[Profile] | Iterable[Profile]) -> list[str]:
@@ -128,22 +130,23 @@ class FileStore(ProfileStore):
         — the batch counterpart of :meth:`put` for experiment fan-out
         (``spawn_many`` replays, campaign waves, repeated profiling).
         """
-        profiles = list(profiles)
-        groups: dict[str, Path] = {}
-        written: dict[str, list[tuple[str, Profile]]] = {}
-        ids: list[str] = []
-        for profile in profiles:
-            key = _key_hash(profile.command, profile.tags)
-            group = groups.get(key)
-            if group is None:
-                group = self.root / key
-                group.mkdir(parents=True, exist_ok=True)
-                groups[key] = group
-            pid = self._write(group, profile)
-            written.setdefault(key, []).append((pid, profile))
-            ids.append(pid)
-        for key, items in written.items():
-            self._journal_append(groups[key], items)
+        with timed("store.put.seconds"):
+            profiles = list(profiles)
+            groups: dict[str, Path] = {}
+            written: dict[str, list[tuple[str, Profile]]] = {}
+            ids: list[str] = []
+            for profile in profiles:
+                key = _key_hash(profile.command, profile.tags)
+                group = groups.get(key)
+                if group is None:
+                    group = self.root / key
+                    group.mkdir(parents=True, exist_ok=True)
+                    groups[key] = group
+                pid = self._write(group, profile)
+                written.setdefault(key, []).append((pid, profile))
+                ids.append(pid)
+            for key, items in written.items():
+                self._journal_append(groups[key], items)
         return ids
 
     def _write(self, group: Path, profile: Profile) -> str:
@@ -240,7 +243,9 @@ class FileStore(ProfileStore):
         cached = self._groups.get(gname)
         if cached is not None and len(cached.entries) == len(names):
             if cached.names == set(names):
+                get_registry().inc("store.index.hit")
                 return cached
+        get_registry().inc("store.index.miss")
         index = self._load_group_index(group, names)
         if index is not None:
             self._groups[gname] = index
@@ -379,11 +384,12 @@ class FileStore(ProfileStore):
     def entries(
         self, command: object = None, tags: object = None
     ) -> list[StoreEntry]:
-        found = [
-            StoreEntry(f"{gname}/{name}", index.command, index.tags, created)
-            for gname, index in self._matching_groups(command, tags)
-            for name, created in index.entries
-        ]
+        with timed("store.entries.seconds"):
+            found = [
+                StoreEntry(f"{gname}/{name}", index.command, index.tags, created)
+                for gname, index in self._matching_groups(command, tags)
+                for name, created in index.entries
+            ]
         # Ids are ``<group>/<file>`` with fixed-width components, so the
         # (created, id) sort reproduces the reference scan's order:
         # created oldest-first, ties in directory-walk order.
@@ -404,7 +410,10 @@ class FileStore(ProfileStore):
             raise StoreError(f"corrupt profile file {path}: {exc}") from exc
 
     def get_many(self, ids) -> list[Profile]:
-        return [Profile.from_dict(self._read_doc(self.root / pid)) for pid in ids]
+        with timed("store.get.seconds"):
+            return [
+                Profile.from_dict(self._read_doc(self.root / pid)) for pid in ids
+            ]
 
     def find(
         self,
@@ -412,16 +421,17 @@ class FileStore(ProfileStore):
         tags: object = None,
         query: Mapping[str, Any] | None = None,
     ) -> list[Profile]:
-        matcher = compile_query(query) if query is not None else None
-        found: list[tuple[float, str, Profile]] = []
-        for gname, index in self._matching_groups(command, tags):
-            for name, created in index.entries:
-                pid = f"{gname}/{name}"
-                doc = self._read_doc(self.root / pid)
-                if matcher is not None and not matcher(doc):
-                    continue
-                found.append((created, pid, Profile.from_dict(doc)))
-        found.sort(key=lambda item: item[:2])
+        with timed("store.find.seconds"):
+            matcher = compile_query(query) if query is not None else None
+            found: list[tuple[float, str, Profile]] = []
+            for gname, index in self._matching_groups(command, tags):
+                for name, created in index.entries:
+                    pid = f"{gname}/{name}"
+                    doc = self._read_doc(self.root / pid)
+                    if matcher is not None and not matcher(doc):
+                        continue
+                    found.append((created, pid, Profile.from_dict(doc)))
+            found.sort(key=lambda item: item[:2])
         return [profile for _created, _pid, profile in found]
 
     def find_ids(

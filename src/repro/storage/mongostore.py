@@ -38,6 +38,7 @@ from repro.core.samples import Profile
 from repro.core.tags import normalize_command, normalize_tags
 from repro.storage.base import ProfileStore, StoreEntry
 from repro.storage.query import compile_query
+from repro.telemetry.metrics import timed
 
 __all__ = ["MongoLite", "Collection", "MongoStore", "MAX_DOCUMENT_BYTES"]
 
@@ -359,19 +360,21 @@ class MongoStore(ProfileStore):
         self.collection.create_index("tags")
 
     def put(self, profile: Profile) -> str:
-        stored = self._fit(profile)
-        doc = stored.to_dict()
-        doc_id = self.collection.insert_one(doc)
-        self.db.dump()
+        with timed("store.put.seconds"):
+            stored = self._fit(profile)
+            doc = stored.to_dict()
+            doc_id = self.collection.insert_one(doc)
+            self.db.dump()
         return str(doc_id)
 
     def put_many(self, profiles) -> list[str]:
         """Persist a batch; the database file is dumped once, not per put."""
-        ids = [
-            str(self.collection.insert_one(self._fit(profile).to_dict()))
-            for profile in profiles
-        ]
-        self.db.dump()
+        with timed("store.put.seconds"):
+            ids = [
+                str(self.collection.insert_one(self._fit(profile).to_dict()))
+                for profile in profiles
+            ]
+            self.db.dump()
         return ids
 
     def _fit(self, profile: Profile) -> Profile:
@@ -465,28 +468,30 @@ class MongoStore(ProfileStore):
     def entries(
         self, command: object = None, tags: object = None
     ) -> list[StoreEntry]:
-        found = [
-            StoreEntry(
-                str(doc_id),
-                doc["command"],
-                tuple(doc.get("tags", ())),
-                float(doc.get("created", 0.0)),
-            )
-            for doc_id, doc in self._candidate_docs(command, tags)
-        ]
-        found.sort(key=lambda entry: entry.created)
+        with timed("store.entries.seconds"):
+            found = [
+                StoreEntry(
+                    str(doc_id),
+                    doc["command"],
+                    tuple(doc.get("tags", ())),
+                    float(doc.get("created", 0.0)),
+                )
+                for doc_id, doc in self._candidate_docs(command, tags)
+            ]
+            found.sort(key=lambda entry: entry.created)
         return found
 
     def get_many(self, ids) -> list[Profile]:
-        profiles = []
-        for pid in ids:
-            try:
-                doc = self.collection.document(int(pid))
-            except (TypeError, ValueError):
-                doc = None
-            if doc is None:
-                raise StoreError(f"no stored profile {pid!r}")
-            profiles.append(Profile.from_dict(doc))
+        with timed("store.get.seconds"):
+            profiles = []
+            for pid in ids:
+                try:
+                    doc = self.collection.document(int(pid))
+                except (TypeError, ValueError):
+                    doc = None
+                if doc is None:
+                    raise StoreError(f"no stored profile {pid!r}")
+                profiles.append(Profile.from_dict(doc))
         return profiles
 
     def find(
@@ -495,22 +500,23 @@ class MongoStore(ProfileStore):
         tags: object = None,
         query: Mapping[str, Any] | None = None,
     ) -> list[Profile]:
-        matcher = compile_query(query) if query is not None else None
-        found: list[tuple[float, int, Profile]] = []
-        for position, (doc_id, doc) in enumerate(
-            self._candidate_docs(command, tags)
-        ):
-            if matcher is not None:
-                # Match the raw stored document (minus the store-private
-                # id, mirroring the profile's dict form) — built once per
-                # candidate and reused across every query branch.
-                probe = {key: value for key, value in doc.items() if key != "_id"}
-                if not matcher(probe):
-                    continue
-            found.append(
-                (float(doc.get("created", 0.0)), position, Profile.from_dict(doc))
-            )
-        found.sort(key=lambda item: item[:2])
+        with timed("store.find.seconds"):
+            matcher = compile_query(query) if query is not None else None
+            found: list[tuple[float, int, Profile]] = []
+            for position, (doc_id, doc) in enumerate(
+                self._candidate_docs(command, tags)
+            ):
+                if matcher is not None:
+                    # Match the raw stored document (minus the store-private
+                    # id, mirroring the profile's dict form) — built once per
+                    # candidate and reused across every query branch.
+                    probe = {key: value for key, value in doc.items() if key != "_id"}
+                    if not matcher(probe):
+                        continue
+                found.append(
+                    (float(doc.get("created", 0.0)), position, Profile.from_dict(doc))
+                )
+            found.sort(key=lambda item: item[:2])
         return [profile for _created, _position, profile in found]
 
     # -- brute-force reference ------------------------------------------------

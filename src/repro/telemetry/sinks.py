@@ -1,0 +1,174 @@
+"""Pluggable event sinks: log lines, JSONL files, memory, Chrome traces.
+
+Sinks implement ``handle(event)`` plus an optional ``close()``; the
+:class:`~repro.telemetry.events.EventBus` guards every call, so a
+broken sink degrades telemetry, never the instrumented run.
+
+* :class:`LogSink` — human-readable or JSONL lines to a stream
+  (the CLI's ``--log-level`` / ``--log-json``);
+* :class:`JsonlSink` — every event as one JSON line in a file;
+* :class:`MemorySink` — in-memory buffer with query helpers (tests);
+* :class:`TraceSink` — collects span/instant events and writes a
+  Chrome-trace JSON on close (the CLI's ``--trace FILE``), via
+  :func:`repro.export.trace.events_to_trace` so runtime traces open in
+  ``about://tracing`` next to the simulated timelines the export plane
+  already produces.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO, Any, Iterable
+
+from repro.telemetry.events import Event, level_number
+
+__all__ = ["JsonlSink", "LogSink", "MemorySink", "TraceSink"]
+
+
+class LogSink:
+    """Format events as log lines on a text stream (stderr by default).
+
+    ``json_lines=True`` switches from the human format to one JSON
+    document per line (each the event's ``to_dict`` form) — parseable
+    with ``json.loads`` per line, which is what the CI smoke asserts.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        level: str = "info",
+        json_lines: bool = False,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.threshold = level_number(level)
+        self.json_lines = json_lines
+
+    def handle(self, event: Event) -> None:
+        if level_number(event.level) < self.threshold:
+            return
+        if self.json_lines:
+            line = json.dumps(event.to_dict(), sort_keys=True, default=str)
+        else:
+            stamp = time.strftime("%H:%M:%S", time.localtime(event.ts))
+            parts = [f"{stamp} [{event.level:<7}] {event.name}"]
+            if event.kind == "span" and event.dur is not None:
+                parts.append(f"dur={event.dur * 1e3:.1f}ms")
+            parts.extend(f"{k}={v}" for k, v in event.attrs.items())
+            line = " ".join(parts)
+        self.stream.write(line + "\n")
+
+    def close(self) -> None:
+        try:
+            self.stream.flush()
+        except Exception:  # noqa: BLE001 - closing a dead pipe
+            pass
+
+
+class JsonlSink:
+    """Append every event as one JSON line to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: IO[str] | None = open(path, "a", encoding="utf-8")
+
+    def handle(self, event: Event) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(
+            json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n"
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class MemorySink:
+    """Buffer events in memory; the test plane's assertion surface."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    # -- query helpers -------------------------------------------------------
+
+    def named(self, name: str) -> list[Event]:
+        """Events with exactly this name, in emission order."""
+        return [event for event in self.events if event.name == name]
+
+    def spans(self, name: str | None = None) -> list[Event]:
+        """Span events (optionally by name), in emission order."""
+        return [
+            event
+            for event in self.events
+            if event.kind == "span" and (name is None or event.name == name)
+        ]
+
+    def children_of(self, span_id: str | None) -> list[Event]:
+        """Events whose direct parent is ``span_id``."""
+        return [event for event in self.events if event.parent_id == span_id]
+
+    def ancestors(self, event: Event) -> list[Event]:
+        """Span chain from ``event``'s parent up to the root, in order."""
+        by_id = {e.span_id: e for e in self.events if e.span_id is not None}
+        chain: list[Event] = []
+        parent = event.parent_id
+        while parent is not None and parent in by_id:
+            node = by_id[parent]
+            chain.append(node)
+            parent = node.parent_id
+        return chain
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class TraceSink:
+    """Collect events and write a Chrome-trace JSON file on close.
+
+    Span events become duration (``X``) events, plain events become
+    instants — the same Trace Event Format ``repro export --format
+    trace`` emits for simulated timelines, so both open in the same
+    viewer.  The document is written on :meth:`close` (the CLI closes
+    sinks after the subcommand returns) or explicitly via :meth:`dump`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.events: list[Event] = []
+        self._written = False
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    def document(self) -> dict[str, Any]:
+        from repro.export.trace import events_to_trace  # noqa: PLC0415 (numpy-free here)
+
+        return events_to_trace(self.events)
+
+    def dump(self, path: str | None = None) -> str:
+        """Write the trace document; returns the path written."""
+        target = path if path is not None else self.path
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(self.document(), handle, sort_keys=True)
+        self._written = True
+        return target
+
+    def close(self) -> None:
+        if not self._written:
+            self.dump()
+
+
+def events_from_jsonl(lines: Iterable[str]) -> list[Event]:
+    """Parse events back from JSONL lines (inverse of :class:`JsonlSink`)."""
+    events = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(Event(**json.loads(line)))
+    return events

@@ -1,0 +1,23 @@
+"""Shared fixtures for the telemetry plane tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import MemorySink, get_bus, reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Every test starts and ends with a dark bus and empty registry."""
+    reset_telemetry()
+    yield
+    reset_telemetry()
+
+
+@pytest.fixture
+def sink():
+    """A memory sink attached to the process bus for the test."""
+    memory = get_bus().add_sink(MemorySink())
+    yield memory
+    get_bus().remove_sink(memory)

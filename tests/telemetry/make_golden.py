@@ -1,0 +1,24 @@
+"""Regenerate the golden Chrome-trace fixture (run deliberately).
+
+Usage::
+
+    PYTHONPATH=src python tests/telemetry/make_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.export.trace import events_to_trace
+
+from test_trace_export import _sample_events  # noqa: E402 (script context)
+
+if __name__ == "__main__":
+    target = Path(__file__).parent / "fixtures" / "golden_trace.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = events_to_trace(_sample_events())
+    target.write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {target}")

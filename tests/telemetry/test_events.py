@@ -1,0 +1,130 @@
+"""Event records and the process-wide bus (``repro.telemetry.events``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    Event,
+    EventBus,
+    LEVELS,
+    MemorySink,
+    get_bus,
+    level_number,
+)
+
+
+class TestEvent:
+    def test_to_dict_omits_unset_optionals(self):
+        event = Event(name="x", ts=1.0)
+        doc = event.to_dict()
+        assert doc["name"] == "x" and doc["kind"] == "event"
+        for absent in ("attrs", "span_id", "parent_id", "dur", "cpu"):
+            assert absent not in doc
+
+    def test_to_dict_round_trips(self):
+        event = Event(
+            name="s", ts=2.0, kind="span", attrs={"k": 1},
+            span_id="a.1", parent_id="a.0", dur=0.5, cpu=0.25,
+        )
+        assert Event(**event.to_dict()) == event
+
+    def test_levels_are_ordered(self):
+        assert (
+            LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+        )
+        assert level_number("nonsense") == LEVELS["info"]
+
+
+class TestEventBus:
+    def test_dark_by_default(self):
+        assert not EventBus().active
+
+    def test_event_preserves_emission_order(self, sink):
+        bus = get_bus()
+        for index in range(10):
+            bus.event("tick", index=index)
+        assert [e.attrs["index"] for e in sink.named("tick")] == list(range(10))
+
+    def test_event_noop_when_dark(self):
+        bus = EventBus()
+        bus.event("ignored", payload=1)  # must not raise, nothing listens
+        assert not bus.active
+
+    def test_broken_sink_does_not_break_emission(self, sink):
+        class Exploding:
+            def handle(self, event):
+                raise RuntimeError("sink died")
+
+        bus = get_bus()
+        broken = bus.add_sink(Exploding())
+        try:
+            bus.event("survives")
+        finally:
+            bus.remove_sink(broken)
+        assert sink.named("survives")
+
+    def test_remove_sink_closes_it(self):
+        closed = []
+
+        class Closeable:
+            def handle(self, event):
+                pass
+
+            def close(self):
+                closed.append(True)
+
+        bus = EventBus()
+        sink = bus.add_sink(Closeable())
+        bus.remove_sink(sink)
+        assert closed == [True]
+        bus.remove_sink(sink)  # idempotent
+        assert closed == [True]
+
+    def test_capture_buffers_and_detaches(self):
+        bus = EventBus()
+        with bus.capture() as buffer:
+            assert bus.active
+            bus.event("inside")
+        assert [e.name for e in buffer] == ["inside"]
+        assert not bus.active
+
+    def test_replay_accepts_events_and_dicts(self, sink):
+        bus = get_bus()
+        original = Event(name="far", ts=42.0, pid=999, span_id="w.1")
+        bus.replay([original, original.to_dict()])
+        replayed = sink.named("far")
+        assert len(replayed) == 2
+        assert all(e.pid == 999 and e.ts == 42.0 for e in replayed)
+
+    def test_event_attaches_current_span_parent(self, sink):
+        from repro.telemetry import span
+
+        with span("outer") as sp:
+            get_bus().event("inner.fact")
+        fact = sink.named("inner.fact")[0]
+        assert fact.parent_id == sp.span_id
+
+
+class TestMemorySink:
+    def test_query_helpers(self):
+        sink = MemorySink()
+        root = Event(name="root", ts=0.0, kind="span", span_id="p.1")
+        child = Event(
+            name="child", ts=0.1, kind="span", span_id="p.2", parent_id="p.1"
+        )
+        leaf = Event(name="leaf", ts=0.2, parent_id="p.2")
+        for event in (root, child, leaf):
+            sink.handle(event)
+        assert sink.spans() == [root, child]
+        assert sink.spans("child") == [child]
+        assert sink.children_of("p.1") == [child]
+        assert [e.name for e in sink.ancestors(leaf)] == ["child", "root"]
+        sink.clear()
+        assert sink.events == []
+
+
+@pytest.mark.parametrize("level", list(LEVELS))
+def test_event_levels_pass_through(level, sink):
+    get_bus().event("lvl", level=level)
+    assert sink.named("lvl")[0].level == level

@@ -1,0 +1,114 @@
+"""Counters, gauges and histogram aggregation (``repro.telemetry.metrics``)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, get_registry, timed
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 2.5)
+        assert registry.counter("hits") == 3.5
+        assert registry.counter("never") == 0.0
+
+    def test_gauge_keeps_latest(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("pool") is None
+        registry.set_gauge("pool", 0.25)
+        registry.set_gauge("pool", 0.75)
+        assert registry.gauge("pool") == 0.75
+
+
+class TestHistograms:
+    def test_aggregates_count_sum_min_max_mean(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("lat", value)
+        stat = registry.histogram("lat")
+        assert stat.count == 4
+        assert stat.sum == 10.0
+        assert stat.min == 1.0 and stat.max == 4.0
+        assert stat.mean == 2.5
+        assert registry.histogram("missing") is None
+
+    def test_percentiles_nearest_rank(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("lat", float(value))
+        stat = registry.histogram("lat")
+        assert stat.percentile(0) == 1.0
+        assert stat.percentile(100) == 100.0
+        assert stat.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert stat.percentile(99) == pytest.approx(99.0, abs=1.0)
+        doc = stat.to_dict()
+        assert set(doc) == {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}
+
+    def test_reservoir_bounds_memory_but_keeps_exact_aggregates(self):
+        registry = MetricsRegistry(reservoir=8)
+        for value in range(100):
+            registry.observe("lat", float(value))
+        stat = registry.histogram("lat")
+        assert stat.count == 100  # exact even though the reservoir is bounded
+        assert stat.min == 0.0 and stat.max == 99.0
+        assert len(stat.recent) == 8
+        assert stat.recent == tuple(float(v) for v in range(92, 100))
+
+    def test_empty_histogram_percentile_is_zero(self):
+        from repro.telemetry import HistogramStat
+
+        stat = HistogramStat(count=0, sum=0.0, min=0.0, max=0.0, recent=())
+        assert stat.percentile(50) == 0.0
+        assert stat.mean == 0.0
+
+
+class TestRegistrySurface:
+    def test_snapshot_and_names(self):
+        registry = MetricsRegistry()
+        registry.inc("c.one")
+        registry.set_gauge("g.one", 1.0)
+        registry.observe("h.one", 0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c.one": 1.0}
+        assert snap["gauges"] == {"g.one": 1.0}
+        assert snap["histograms"]["h.one"]["count"] == 1
+        assert registry.names() == {
+            "counters": ["c.one"],
+            "gauges": ["g.one"],
+            "histograms": ["h.one"],
+        }
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.inc("contended")
+                registry.observe("lat", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("contended") == 4000
+        assert registry.histogram("lat").count == 4000
+
+    def test_timed_observes_into_process_registry(self):
+        with timed("block.seconds"):
+            sum(range(1000))
+        stat = get_registry().histogram("block.seconds")
+        assert stat is not None and stat.count == 1 and stat.min >= 0.0
+
+    def test_timed_observes_even_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with timed("failing.seconds"):
+                raise RuntimeError("nope")
+        assert get_registry().histogram("failing.seconds").count == 1

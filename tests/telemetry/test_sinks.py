@@ -1,0 +1,110 @@
+"""Log/JSONL/trace sinks and the telemetry CLI configuration helper."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.telemetry import (
+    Event,
+    JsonlSink,
+    LogSink,
+    TraceSink,
+    configure,
+    get_bus,
+    span,
+)
+from repro.telemetry.sinks import events_from_jsonl
+
+
+def _event(**overrides) -> Event:
+    base = dict(name="unit.event", ts=1700000000.5, level="info", attrs={"k": "v"})
+    base.update(overrides)
+    return Event(**base)
+
+
+class TestLogSink:
+    def test_human_lines_include_name_attrs_and_duration(self):
+        stream = io.StringIO()
+        sink = LogSink(stream=stream, level="debug")
+        sink.handle(_event(kind="span", dur=0.25, name="svc.run"))
+        line = stream.getvalue()
+        assert "svc.run" in line
+        assert "dur=250.0ms" in line
+        assert "k=v" in line
+
+    def test_level_threshold_filters(self):
+        stream = io.StringIO()
+        sink = LogSink(stream=stream, level="warning")
+        sink.handle(_event(level="info"))
+        assert stream.getvalue() == ""
+        sink.handle(_event(level="error"))
+        assert "unit.event" in stream.getvalue()
+
+    def test_json_lines_parse(self):
+        stream = io.StringIO()
+        sink = LogSink(stream=stream, level="debug", json_lines=True)
+        sink.handle(_event())
+        doc = json.loads(stream.getvalue())
+        assert doc["name"] == "unit.event" and doc["attrs"] == {"k": "v"}
+
+
+class TestJsonlSink:
+    def test_round_trips_through_events_from_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        first = _event(name="one")
+        second = _event(name="two", kind="span", span_id="a.1", dur=0.1, cpu=0.05)
+        sink.handle(first)
+        sink.handle(second)
+        sink.close()
+        sink.handle(_event(name="after-close"))  # dropped, not an error
+        lines = path.read_text(encoding="utf-8").splitlines()
+        restored = events_from_jsonl(lines)
+        assert [e.name for e in restored] == ["one", "two"]
+        assert restored[1].span_id == "a.1"
+
+
+class TestTraceSink:
+    def test_close_writes_chrome_trace_once(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = TraceSink(str(path))
+        sink.handle(_event(name="spanned", kind="span", span_id="a.1", dur=0.5))
+        sink.close()
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"][0]["name"] == "spanned"
+        assert doc["traceEvents"][0]["ph"] == "X"
+
+    def test_dump_marks_written(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = TraceSink(str(path))
+        sink.handle(_event())
+        assert sink.dump() == str(path)
+        path.unlink()
+        sink.close()  # already dumped; must not rewrite
+        assert not path.exists()
+
+
+class TestConfigure:
+    def test_configure_attaches_and_remove_detaches(self, tmp_path):
+        stream = io.StringIO()
+        trace_path = tmp_path / "out.json"
+        sinks = configure(
+            log_level="debug", trace=str(trace_path), log_stream=stream
+        )
+        try:
+            assert len(sinks) == 2
+            with span("configured"):
+                pass
+            assert "configured" in stream.getvalue()
+        finally:
+            bus = get_bus()
+            for sink in sinks:
+                bus.remove_sink(sink)
+        assert not get_bus().active
+        assert json.loads(trace_path.read_text(encoding="utf-8"))["traceEvents"]
+
+    def test_configure_dark_without_flags(self):
+        assert configure() == []
+        assert not get_bus().active

@@ -1,0 +1,120 @@
+"""Span nesting, timing, and cross-process context propagation."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.telemetry import (
+    current_span_id,
+    get_bus,
+    pack_context,
+    span,
+)
+from repro.telemetry.spans import _NULL_SPAN, activate_context
+
+
+class TestSpanNesting:
+    def test_nested_spans_link_into_a_tree(self, sink):
+        with span("root") as root:
+            with span("child") as child:
+                with span("leaf"):
+                    pass
+        names = [e.name for e in sink.spans()]
+        assert names == ["leaf", "child", "root"]  # innermost exits first
+        leaf, child_event, root_event = sink.spans()
+        assert leaf.parent_id == child.span_id
+        assert child_event.parent_id == root.span_id
+        assert root_event.parent_id is None
+        assert sink.ancestors(leaf) == [child_event, root_event]
+
+    def test_sibling_spans_share_a_parent(self, sink):
+        with span("parent") as parent:
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        first, second = sink.spans("first") + sink.spans("second")
+        assert first.parent_id == second.parent_id == parent.span_id
+
+    def test_current_span_id_restored_after_exit(self, sink):
+        assert current_span_id() is None
+        with span("outer") as outer:
+            assert current_span_id() == outer.span_id
+        assert current_span_id() is None
+
+    def test_span_records_wall_and_cpu(self, sink):
+        with span("timed"):
+            sum(range(10_000))
+        event = sink.spans("timed")[0]
+        assert event.dur is not None and event.dur >= 0.0
+        assert event.cpu is not None and event.cpu >= 0.0
+        assert event.pid == os.getpid()
+
+    def test_set_attaches_attributes(self, sink):
+        with span("attrs", initial=1) as sp:
+            sp.set(later=2)
+        event = sink.spans("attrs")[0]
+        assert event.attrs == {"initial": 1, "later": 2}
+
+    def test_exception_marks_span_and_reraises(self, sink):
+        with pytest.raises(ValueError, match="boom"):
+            with span("failing"):
+                raise ValueError("boom")
+        event = sink.spans("failing")[0]
+        assert event.attrs["status"] == "error"
+        assert "boom" in event.attrs["error"]
+        assert current_span_id() is None
+
+    def test_span_ids_are_pid_prefixed_and_unique(self, sink):
+        with span("a"), span("b"):
+            pass
+        ids = [e.span_id for e in sink.spans()]
+        assert len(set(ids)) == 2
+        assert all(sid.startswith(f"{os.getpid():x}.") for sid in ids)
+
+
+class TestDarkBus:
+    def test_span_is_noop_without_sinks(self):
+        assert not get_bus().active
+        with span("invisible") as sp:
+            assert sp is _NULL_SPAN
+            sp.set(anything="goes")  # must not raise
+        assert current_span_id() is None
+
+    def test_pack_context_dark_returns_none(self):
+        assert pack_context() is None
+
+    def test_activate_none_context_yields_none(self):
+        with activate_context(None) as buffer:
+            assert buffer is None
+
+
+class TestContextPropagation:
+    def test_pack_carries_open_span(self, sink):
+        with span("submitting") as sp:
+            context = pack_context()
+        assert context == {"parent": sp.span_id}
+
+    def test_activate_installs_parent_and_captures(self, sink):
+        # Simulate the worker side: no open span locally, a shipped
+        # parent id from the submitting process.
+        context = {"parent": "feed.1"}
+        with activate_context(context) as buffer:
+            with span("worker.request"):
+                pass
+        assert [e.name for e in buffer] == ["worker.request"]
+        assert buffer[0].parent_id == "feed.1"
+        assert current_span_id() is None
+
+    def test_replayed_worker_events_stitch_under_parent(self, sink):
+        with span("parent") as parent:
+            context = pack_context()
+        with activate_context(context) as buffer:
+            with span("remote"):
+                pass
+        get_bus().replay(buffer)
+        remote = sink.spans("remote")[0]
+        assert remote.parent_id == parent.span_id
+        assert sink.ancestors(remote) == [sink.spans("parent")[0]]

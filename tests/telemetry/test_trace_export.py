@@ -1,0 +1,76 @@
+"""Chrome-trace export of telemetry events (``events_to_trace``)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.export.trace import events_to_trace
+from repro.telemetry import Event
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _sample_events() -> list[Event]:
+    """A deterministic two-process span tree plus an instant event."""
+    return [
+        Event(
+            name="campaign.wave", ts=100.0, level="info", kind="span",
+            attrs={"wave": 1, "cells": 2}, span_id="a.1", dur=2.0, cpu=1.5,
+            pid=10, tid=1,
+        ),
+        Event(
+            name="run.request", ts=100.5, level="debug", kind="span",
+            attrs={"kind": "profile"}, span_id="b.1", parent_id="a.1",
+            dur=0.75, cpu=0.7, pid=11, tid=2,
+        ),
+        Event(
+            name="campaign.wave.finish", ts=102.0, level="info",
+            attrs={"executed": 2}, parent_id="a.1", pid=10, tid=1,
+        ),
+    ]
+
+
+class TestEventsToTrace:
+    def test_matches_golden_fixture(self):
+        """The exported document is pinned byte-for-byte to the fixture.
+
+        Regenerate deliberately (after a reviewed format change) with::
+
+            PYTHONPATH=src python tests/telemetry/make_golden.py
+        """
+        produced = json.loads(
+            json.dumps(events_to_trace(_sample_events()), sort_keys=True)
+        )
+        golden = json.loads(
+            (FIXTURES / "golden_trace.json").read_text(encoding="utf-8")
+        )
+        assert produced == golden
+
+    def test_spans_become_duration_events_from_common_base(self):
+        doc = events_to_trace(_sample_events())
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        wave = by_name["campaign.wave"]
+        request = by_name["run.request"]
+        assert wave["ph"] == "X" and wave["ts"] == 0.0  # earliest is the base
+        assert wave["dur"] == 2.0 * 1e6
+        assert request["ts"] == 0.5 * 1e6
+        assert request["args"]["parent_id"] == "a.1"
+        assert request["args"]["cpu_s"] == 0.7
+        assert request["pid"] == 11  # workers keep their own track
+
+    def test_plain_events_become_instants(self):
+        doc = events_to_trace(_sample_events())
+        instant = [e for e in doc["traceEvents"] if e["ph"] == "i"][0]
+        assert instant["name"] == "campaign.wave.finish"
+        assert instant["s"] == "t"
+        assert instant["args"]["executed"] == 2
+
+    def test_accepts_dict_form(self):
+        events = [event.to_dict() for event in _sample_events()]
+        assert events_to_trace(events) == events_to_trace(_sample_events())
+
+    def test_empty_input(self):
+        doc = events_to_trace([])
+        assert doc["traceEvents"] == []
+        assert doc["otherData"]["events"] == 0
