@@ -23,6 +23,13 @@ methods" (§4).  Subcommands:
   pending cells (n hosts sharing one store split the sweep), and
   ``--report`` aggregates a finished (or partial) ledger into the
   paper-style consistency/error tables (``--format table|json|csv``).
+  SIGTERM/SIGINT drain gracefully: the in-flight wave finishes and is
+  checkpointed, claims are released, and the run resumes later.
+
+Every subcommand also accepts ``--faults PLAN`` (JSON file or inline
+JSON), activating the deterministic fault-injection plane
+(:mod:`repro.faults`) for the invocation — the CLI face of the
+``REPRO_FAULTS`` environment variable.
 
 The console script installs as ``repro`` (see ``setup.py``), so the
 paper-facing spellings are ``repro predict``, ``repro place`` and
@@ -58,7 +65,7 @@ _DEFAULT_STORE = "file://.synapse/profiles"
 
 
 def _telemetry_parent() -> argparse.ArgumentParser:
-    """Shared ``--log-level/--log-json/--trace`` flags for every subcommand.
+    """Shared ``--log-level/--log-json/--trace/--faults`` flags.
 
     ``default=SUPPRESS`` keeps a subparser from clobbering a value the
     main parser already set, so the flags work both before and after the
@@ -87,6 +94,13 @@ def _telemetry_parent() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         metavar="FILE",
         help="write a Chrome-trace JSON of the run's spans to FILE",
+    )
+    group.add_argument(
+        "--faults",
+        default=argparse.SUPPRESS,
+        metavar="PLAN",
+        help="activate a fault-injection plan (JSON file path or inline "
+             "JSON) for this invocation; equivalent to REPRO_FAULTS",
     )
     return parent
 
@@ -446,17 +460,55 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
         if hasattr(out, "flush"):
             out.flush()
 
-    report = run_campaign(
-        spec, store,
-        processes=args.processes,
-        limit=args.limit,
-        shard=args.shard,
-        claim_ttl=(
-            args.claim_ttl if args.claim_ttl is not None else DEFAULT_CLAIM_TTL
-        ),
-        progress=None if args.quiet else progress,
-    )
+    # Graceful shutdown: the first SIGTERM/SIGINT asks the campaign to
+    # drain — the in-flight wave finishes, its artifacts and ledger
+    # checkpoint land on the store, claim markers are released, and the
+    # run reports ``interrupted`` (resumable later).  A second signal
+    # aborts hard via the default KeyboardInterrupt path.
+    import signal  # noqa: PLC0415 (lazy)
+
+    stop_flag = {"stop": False}
+
+    def _request_stop(signum, frame) -> None:
+        if stop_flag["stop"]:
+            raise KeyboardInterrupt
+        stop_flag["stop"] = True
+        print(
+            "signal received: draining the current wave, then checkpointing "
+            "(send again to abort hard)",
+            file=sys.stderr,
+        )
+
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+    except ValueError:
+        # Not the main thread (e.g. a test harness driving main() from a
+        # worker thread): run without signal-based draining.
+        previous_handlers = {}
+    try:
+        report = run_campaign(
+            spec, store,
+            processes=args.processes,
+            limit=args.limit,
+            shard=args.shard,
+            claim_ttl=(
+                args.claim_ttl if args.claim_ttl is not None else DEFAULT_CLAIM_TTL
+            ),
+            progress=None if args.quiet else progress,
+            stop=lambda: stop_flag["stop"],
+        )
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     print(report.table().render(), file=out)
+    if report.interrupted:
+        print(
+            f"campaign interrupted after a clean drain; {report.remaining} "
+            "cells remaining — re-run the same command to resume",
+            file=out,
+        )
     for failure in report.failed:
         print(
             f"failed cell {failure['cell']}: {failure['app']} on "
@@ -665,12 +717,35 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         log_json=getattr(args, "log_json", False),
         trace=getattr(args, "trace", None),
     )
+    faults_spec = getattr(args, "faults", None)
+    fault_plan = None
+    if faults_spec is not None:
+        import os  # noqa: PLC0415 (lazy)
+
+        from repro.faults import ENV_VAR, FaultPlan, activate  # noqa: PLC0415
+
+        try:
+            fault_plan = activate(FaultPlan.from_json(faults_spec))
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            print(f"error: bad fault plan: {exc}", file=sys.stderr)
+            return 2
+        # Exported so pool workers see the plan regardless of the
+        # multiprocessing start method (fork inherits memory, spawn
+        # re-reads the environment).
+        os.environ[ENV_VAR] = faults_spec
     try:
         return handler(args, out)
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if fault_plan is not None:
+            import os  # noqa: PLC0415 (lazy)
+
+            from repro.faults import ENV_VAR, deactivate  # noqa: PLC0415
+
+            deactivate()
+            os.environ.pop(ENV_VAR, None)
         bus = get_bus()
         for sink in sinks:
             bus.remove_sink(sink)

@@ -37,8 +37,10 @@ from repro.runtime.campaign import (
     CampaignReport,
     CampaignSpec,
     claims,
+    comparable_artifact,
     completed_cells,
     ledger,
+    ledger_digest,
     parse_shard,
     run_campaign,
     shard_cells,
@@ -46,6 +48,7 @@ from repro.runtime.campaign import (
 )
 from repro.runtime.service import (
     ParallelFallbackWarning,
+    PoisonRequestError,
     RunPolicy,
     RunRequest,
     RunResult,
@@ -61,6 +64,7 @@ __all__ = [
     "CampaignReport",
     "CampaignSpec",
     "ParallelFallbackWarning",
+    "PoisonRequestError",
     "RunPolicy",
     "RunRequest",
     "RunResult",
@@ -68,9 +72,11 @@ __all__ = [
     "RunTimeoutError",
     "analyze_campaign",
     "claims",
+    "comparable_artifact",
     "completed_cells",
     "get_service",
     "ledger",
+    "ledger_digest",
     "parse_shard",
     "reset_service",
     "run_campaign",

@@ -54,14 +54,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import secrets
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, is_retryable
 from repro.core.samples import Profile
+from repro.faults import inject
 from repro.runtime.service import RunPolicy, RunRequest, RunService, get_service
 from repro.telemetry.events import get_bus
 from repro.telemetry.spans import span
@@ -72,8 +74,10 @@ __all__ = [
     "CampaignReport",
     "CampaignSpec",
     "claims",
+    "comparable_artifact",
     "completed_cells",
     "ledger",
+    "ledger_digest",
     "parse_shard",
     "run_campaign",
     "shard_cells",
@@ -98,6 +102,39 @@ CLAIM_COMMAND = "synapse:campaign-claim"
 #: stored artifact belongs to a dead shard and is ignored; fresher ones
 #: mark a concurrent shard working the cell right now.
 DEFAULT_CLAIM_TTL = 900.0
+
+#: Attempts per ledger store operation (scans, artifact/claim writes)
+#: before a transient store failure fails the campaign.
+STORE_ATTEMPTS = 3
+
+
+def _store_op(what: str, fn: Callable[[], Any]) -> Any:
+    """Run one ledger store operation with short transient-fault retries.
+
+    Long campaigns should not die to a single flaky store call (NFS
+    hiccup, injected chaos): retryable failures (per
+    :func:`~repro.core.errors.is_retryable`) get
+    :data:`STORE_ATTEMPTS` tries with a small deterministic-jitter
+    sleep; fatal errors and exhausted budgets propagate.  A retried
+    ``put_many`` that partially landed can store duplicate artifacts —
+    bit-identical, deduped by digest on resume and analysis (the
+    module-docstring invariant: ugly, never wrong).
+    """
+    for attempt in range(1, STORE_ATTEMPTS + 1):
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - classified below
+            if attempt >= STORE_ATTEMPTS or not is_retryable(exc):
+                raise
+            get_bus().event(
+                "campaign.store.retry", level="warning", op=what,
+                attempt=attempt, attempts=STORE_ATTEMPTS, error=repr(exc),
+            )
+            # Deterministic full jitter (seeded per op/attempt): retries
+            # desynchronise across shards without touching global RNG.
+            time.sleep(
+                0.05 * attempt * random.Random(f"{what}|{attempt}").random()
+            )
 
 
 def _str_list(value: Any, what: str) -> tuple[str, ...]:
@@ -329,6 +366,10 @@ class CampaignReport:
     assigned: int = 0
     #: Cells left to a concurrent invocation holding an earlier claim.
     deferred: int = 0
+    #: True when a ``stop`` request (SIGTERM/SIGINT drain) ended the
+    #: sweep early: the current wave was finished and persisted, the
+    #: remaining waves were never started.
+    interrupted: bool = False
 
     @property
     def remaining(self) -> int:
@@ -358,16 +399,19 @@ class CampaignReport:
             "shard": self.shard,
             "assigned": self.assigned,
             "deferred": self.deferred,
+            "interrupted": self.interrupted,
         }
 
     def table(self) -> Table:
         shard = f" shard {self.shard}" if self.shard is not None else ""
+        state = "complete" if self.complete else "partial"
+        if self.interrupted:
+            state = "interrupted (drained)"
         table = Table(
             ["cells", "skipped (ledger)", "executed", "failed", "deferred",
              "remaining"],
             title=(
-                f"campaign {self.name!r}{shard}: "
-                f"{'complete' if self.complete else 'partial'} "
+                f"campaign {self.name!r}{shard}: {state} "
                 f"in {self.seconds:.2f}s"
             ),
         )
@@ -477,10 +521,15 @@ def _claim_wave(
         )
         for cell in wave
     ]
-    claim_ids = list(store.put_many(markers))
+    claim_ids = list(
+        _store_op("claim.put", lambda: store.put_many(markers))
+    )
     if not scan:
         return list(wave), [], claim_ids, False
     try:
+        # Chaos plane: a fault here exercises the marker-cleanup path
+        # below (a read-back failure must not leak this wave's claims).
+        inject("campaign.claim", key=name)
         existing = claims(store, name)
         stale_seen = sum(
             1
@@ -549,6 +598,7 @@ def _gc_stale_claims(store: Any, name: str, ttl: float, now: float) -> None:
     if getattr(store, "delete", None) is None:
         return
     try:
+        inject("campaign.gc", key=name)
         stale = [
             entry.id
             for entry in store.entries(CLAIM_COMMAND, tags=[f"campaign={name}"])
@@ -611,6 +661,42 @@ def ledger(store: Any, name: str) -> dict[str, Any]:
     return {digest: profile for (digest, _pid), profile in zip(pairs, profiles)}
 
 
+def comparable_artifact(profile: Any) -> dict[str, Any]:
+    """A ledger artifact document scrubbed of run-environment identity.
+
+    Campaign results are deterministic by construction (cell-derived
+    noise streams); only *when* and *by which process* a cell ran leaks
+    into its stored document.  Dropping the wall-clock ``created`` stamp
+    and the recording process id leaves exactly the fields that must be
+    bit-identical across reruns, shards, resumes and chaos runs.
+    """
+    doc = profile.to_dict() if hasattr(profile, "to_dict") else dict(profile)
+    doc = json.loads(json.dumps(doc, sort_keys=True, default=str))
+    doc.pop("created", None)
+    process = doc.get("info", {}).get("process")
+    if isinstance(process, dict):
+        process.pop("pid", None)
+    return doc
+
+
+def ledger_digest(store: Any, name: str) -> str:
+    """Canonical digest of campaign ``name``'s ledger.
+
+    Two campaign runs converged to the same results — regardless of
+    execution order, sharding, worker count, interruptions, retries or
+    injected faults — produce the same digest.  The chaos smoke test
+    (and CI job) pins a faulted run against a fault-free one with this.
+    """
+    led = ledger(store, name)
+    payload = json.dumps(
+        {digest: comparable_artifact(profile)
+         for digest, profile in sorted(led.items())},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def run_campaign(
     spec: CampaignSpec | Mapping[str, Any],
     store: Any,
@@ -622,6 +708,7 @@ def run_campaign(
     claim: bool | None = None,
     claim_ttl: float = DEFAULT_CLAIM_TTL,
     progress: Any = None,
+    stop: Callable[[], bool] | None = None,
 ) -> CampaignReport:
     """Execute (or resume) a campaign sweep against its store ledger.
 
@@ -643,11 +730,24 @@ def run_campaign(
     ``progress`` is an optional per-wave callback receiving a summary
     dict (``wave``, ``waves``, ``claimed``, ``executed``, ``failed``,
     ``deferred``, ``completed``, ``pending``, ``elapsed``) after each
-    wave is persisted — the CLI's live progress lines.  Telemetry: the
-    sweep runs under a ``campaign.run`` span with one ``campaign.wave``
-    span per wave (pooled per-request spans stitch under it) and emits
-    ``campaign.start`` / ``campaign.wave.finish`` /
+    wave is persisted — the CLI's live progress lines.
+
+    ``stop`` is an optional zero-argument drain predicate checked
+    between waves (the CLI wires its SIGTERM/SIGINT handler here): once
+    it returns true the current wave is finished, persisted and its
+    claims released, the remaining waves never start, and the report
+    comes back with ``interrupted=True`` — a graceful shutdown loses
+    nothing and a re-run resumes from the ledger.
+
+    Ledger store operations (resume scan, artifact and claim-marker
+    writes) retry transient failures :data:`STORE_ATTEMPTS` times (with
+    deterministic jitter) before failing the campaign.
+
+    Telemetry: the sweep runs under a ``campaign.run`` span with one
+    ``campaign.wave`` span per wave (pooled per-request spans stitch
+    under it) and emits ``campaign.start`` / ``campaign.wave.finish`` /
     ``campaign.claim.contention`` / ``campaign.claim.gc`` /
+    ``campaign.store.retry`` / ``campaign.interrupted`` /
     ``campaign.finish`` events on the process bus.
     """
     if not isinstance(spec, CampaignSpec):
@@ -658,7 +758,9 @@ def run_campaign(
     owner = f"{os.getpid():x}-{secrets.token_hex(4)}"
     shard_label = None if shard_id is None else f"{shard_id[0]}/{shard_id[1]}"
     cells = spec.cells()
-    done = completed_cells(store, spec.name)
+    done = _store_op(
+        "completed_cells", lambda: completed_cells(store, spec.name)
+    )
     pending = [cell for cell in cells if cell.digest not in done]
     skipped = len(cells) - len(pending)
     if shard_id is not None:
@@ -672,6 +774,7 @@ def run_campaign(
     bus = get_bus()
     executed = 0
     deferred = 0
+    interrupted = False
     failures: list[dict[str, str]] = []
     start = time.perf_counter()
     step = max(1, checkpoint)
@@ -692,6 +795,18 @@ def run_campaign(
         # and analysis dedupe by digest.
         scan_claims = True
         for wave_no, wave_start in enumerate(range(0, len(pending), step), start=1):
+            if stop is not None and stop():
+                # Drain semantics: the wave that was running when the
+                # stop request arrived has already been persisted and
+                # its claims released; just never start the next one.
+                interrupted = True
+                bus.event(
+                    "campaign.interrupted", level="warning",
+                    campaign=spec.name, wave=wave_no, waves=n_waves,
+                    executed=executed,
+                    pending=len(cells) - skipped - executed,
+                )
+                break
             wave = pending[wave_start : wave_start + step]
             wave_executed = wave_failed = wave_deferred = 0
             with span(
@@ -733,7 +848,9 @@ def run_campaign(
                             )
                             wave_failed += 1
                     if artifacts:
-                        store.put_many(artifacts)
+                        _store_op(
+                            "artifacts.put", lambda: store.put_many(artifacts)
+                        )
                 finally:
                     # Claims outlive an invocation only when it is killed hard
                     # (no chance to clean up) — exactly the case claim_ttl
@@ -760,10 +877,10 @@ def run_campaign(
             if progress is not None:
                 progress(dict(summary))
         campaign_span.set(executed=executed, failed=len(failures),
-                          deferred=deferred)
+                          deferred=deferred, interrupted=interrupted)
         bus.event(
             "campaign.finish", campaign=spec.name, executed=executed,
-            failed=len(failures), deferred=deferred,
+            failed=len(failures), deferred=deferred, interrupted=interrupted,
             seconds=time.perf_counter() - start,
         )
 
@@ -778,4 +895,5 @@ def run_campaign(
         shard=None if shard_id is None else f"{shard_id[0]}/{shard_id[1]}",
         assigned=assigned,
         deferred=deferred,
+        interrupted=interrupted,
     )

@@ -20,6 +20,7 @@ from collections.abc import Mapping
 from typing import Any
 
 from repro.core.errors import ConfigError, WorkloadError
+from repro.faults import inject
 from repro.runtime.service import RunRequest
 
 __all__ = ["dispatch"]
@@ -28,6 +29,10 @@ __all__ = ["dispatch"]
 def dispatch(request: RunRequest, target: Any, machine: Any) -> Any:
     """Execute one request; ``target``/``machine`` are passed separately
     because pooled requests ship them via the batch's shared payload."""
+    # Chaos plane: fires in whichever process executes the request — a
+    # pool worker for pooled requests (so ``crash`` rules emulate real
+    # worker death), the parent otherwise.
+    inject("worker.execute", key=request.key)
     if request.kind == "call":
         return request.runner()  # type: ignore[misc]
     if request.kind == "engine":

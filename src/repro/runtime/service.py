@@ -13,7 +13,18 @@ Determinism: each request carries ``(seed, index)`` (or an explicit
 ``noise_seed``) from which its noise stream derives, so results are
 bit-identical regardless of worker count, chunking or execution order.
 
-When the pool cannot be created or dies (constrained hosts, forbidden
+Supervision: pooled batches run under a parent-side supervisor that
+*enforces* per-attempt :class:`RunPolicy` timeout budgets (a hung
+worker is killed, its request failed with :class:`RunTimeoutError`,
+instead of stalling the batch forever), detects worker death
+(``BrokenProcessPool``), restarts the pool and requeues the in-flight
+requests exactly once per crash — and quarantines a *poison* request
+that keeps killing the pool with a
+:class:`~repro.core.errors.PoisonRequestError` after
+:data:`RunService.POISON_CRASH_LIMIT` crashes.  Every recovery action
+emits ``supervisor.*`` telemetry events and metrics.
+
+When the pool cannot be created at all (constrained hosts, forbidden
 fork, unpicklable payloads) the service degrades to the serial path
 with a :class:`~repro.core.multiproc.ParallelFallbackWarning` — it
 never fails a batch because of pool infrastructure.
@@ -21,12 +32,15 @@ never fails a batch because of pool infrastructure.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import random
 import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.core.errors import PoisonRequestError, is_retryable
 from repro.core.multiproc import ParallelFallbackWarning, _serial_map, get_shared
 from repro.telemetry.events import get_bus
 from repro.telemetry.metrics import get_registry
@@ -34,6 +48,7 @@ from repro.telemetry.spans import activate_context, pack_context, span
 
 __all__ = [
     "ParallelFallbackWarning",
+    "PoisonRequestError",
     "RunPolicy",
     "RunRequest",
     "RunResult",
@@ -51,12 +66,17 @@ KINDS = ("engine", "profile", "emulate", "call")
 class RunTimeoutError(Exception):
     """An attempt exceeded its :class:`RunPolicy` timeout budget.
 
-    Raised (and captured into the :class:`RunResult`) *after* the
-    attempt returns: the service cannot preempt arbitrary Python code
-    in-process, but a policy timeout guarantees an over-budget cell is
-    classified as failed — and retried or surfaced — instead of being
-    silently accepted, so a slow cell fails a campaign shard gracefully
-    rather than poisoning its wave.
+    Two enforcement tiers:
+
+    * **Pooled requests** get their deadline *enforced*: the service's
+      supervisor kills the worker once the request's whole policy
+      budget (attempts x timeout + backoff) is exhausted, so even a
+      request that hangs forever fails in bounded wall-clock.
+    * **In-parent requests** (host plane, live backends, opaque
+      runners) cannot be preempted; there the timeout is classified
+      *after* the attempt returns, guaranteeing an over-budget cell is
+      recorded as failed — and retried or surfaced — instead of being
+      silently accepted.
     """
 
 
@@ -68,19 +88,33 @@ class RunPolicy:
     ----------
     retries:
         Re-attempts after the first failure (0 = single attempt).
+        Retries apply only to *retryable* failures (see
+        :func:`repro.core.errors.is_retryable`): a configuration-shaped
+        error fails identically every attempt, so the loop stops at the
+        first one instead of burning the budget.
     timeout:
         Per-attempt wall-clock budget in seconds; an attempt that takes
-        longer counts as failed with :class:`RunTimeoutError` (checked
-        post-attempt, see there).  ``None`` disables the budget.
+        longer counts as failed with :class:`RunTimeoutError` — enforced
+        by the supervisor for pooled requests (the worker is killed once
+        the whole policy budget is spent), checked post-attempt for
+        in-parent ones.  ``None`` disables the budget.
     backoff:
-        Base sleep between attempts: attempt *k* (1-based) is followed
-        by ``backoff * k`` seconds before the next attempt (linear
-        backoff; 0 retries immediately).
+        Base sleep between attempts: attempt *k* (1-based) allows up to
+        ``backoff * k`` seconds before the next attempt.
+    jitter:
+        With jitter (the default) the actual sleep is drawn uniformly
+        from ``[0, backoff * k)`` — *full jitter*, so many shards
+        retrying the same contended resource desynchronise instead of
+        thundering-herding in lockstep.  The draw is seeded from the
+        request's own identity (key, seed, index, attempt), never from
+        global RNG state, so determinism goldens stay pinned.
+        ``jitter=False`` restores the fixed linear schedule.
     """
 
     retries: int = 0
     timeout: float | None = None
     backoff: float = 0.0
+    jitter: bool = True
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -95,6 +129,17 @@ class RunPolicy:
         """Total attempts this policy allows."""
         return self.retries + 1
 
+    @property
+    def budget(self) -> float | None:
+        """Upper wall-clock bound of the whole retry loop (``None`` =
+        unbounded): every attempt at its timeout plus every backoff
+        sleep at its maximum.  The supervisor enforces this bound on
+        pooled requests."""
+        if self.timeout is None:
+            return None
+        sleeps = self.backoff * (self.retries * (self.retries + 1) / 2.0)
+        return self.attempts * self.timeout + sleeps
+
     @classmethod
     def from_dict(cls, data: Any) -> "RunPolicy":
         """Build a policy from a spec mapping (campaign JSON specs)."""
@@ -104,7 +149,7 @@ class RunPolicy:
             raise ValueError(
                 f"run policy must be a mapping, not {type(data).__name__}"
             )
-        unknown = set(data) - {"retries", "timeout", "backoff"}
+        unknown = set(data) - {"retries", "timeout", "backoff", "jitter"}
         if unknown:
             raise ValueError(f"unknown run policy keys: {sorted(unknown)}")
         timeout = data.get("timeout")
@@ -113,6 +158,7 @@ class RunPolicy:
                 retries=int(data.get("retries", 0)),
                 timeout=float(timeout) if timeout is not None else None,
                 backoff=float(data.get("backoff", 0.0)),
+                jitter=bool(data.get("jitter", True)),
             )
         except TypeError as exc:  # non-numeric values -> one error type
             raise ValueError(f"invalid run policy values: {exc}") from exc
@@ -254,6 +300,23 @@ def _split_chunks(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
     return chunks
 
 
+def _worker_init() -> None:
+    """Pool-worker initializer: restore default signal dispositions.
+
+    Forked workers inherit whatever handlers the parent installed — the
+    CLI's graceful-drain SIGTERM handler in particular, which would make
+    workers *ignore* the executor's ``terminate()`` during broken-pool
+    cleanup (and print the drain banner from the wrong process).
+    """
+    import signal  # noqa: PLC0415 - worker-side only
+
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        # Workers must not race the parent for Ctrl-C: the parent drains
+        # and shuts the pool down; an interrupted worker would break it.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _run_chunk(payload: bytes) -> tuple[list[tuple[bool, Any]], list[Any]]:
     """Worker-side chunk executor.
 
@@ -306,9 +369,11 @@ def _attempt_request(
     ``seconds`` covers all attempts including backoff sleeps and
     ``attempt_seconds`` is the wall-clock time spent *inside* the
     deciding attempt (what failure messages report as time-in-attempt).
-    Failed attempts retry up to ``policy.retries`` times; an attempt
-    exceeding ``policy.timeout`` counts as failed with
-    :class:`RunTimeoutError`.
+    Failed attempts retry up to ``policy.retries`` times — but only for
+    *retryable* failures (:func:`~repro.core.errors.is_retryable`);
+    a fatal error (bad config, malformed workload, quarantined request)
+    stops the loop on the attempt that raised it.  An attempt exceeding
+    ``policy.timeout`` counts as failed with :class:`RunTimeoutError`.
 
     Emits one ``run.request`` span per request (kind, key, deciding
     attempt, retry/timeout outcome) — in the pool worker for pooled
@@ -321,6 +386,7 @@ def _attempt_request(
         start = time.perf_counter()
         outcome: Any = None
         attempt_elapsed = 0.0
+        deciding = policy.attempts
         for attempt in range(1, policy.attempts + 1):
             attempt_start = time.perf_counter()
             try:
@@ -337,20 +403,45 @@ def _attempt_request(
             except Exception as exc:  # noqa: BLE001 - surfaced as RunResult / re-raised
                 attempt_elapsed = time.perf_counter() - attempt_start
                 outcome = exc
+                deciding = attempt
+                if not is_retryable(exc):
+                    break  # fatal: identical failure every attempt
                 if attempt < policy.attempts:
+                    sleep = _backoff_sleep(policy, request, attempt)
                     get_bus().event(
                         "run.retry", level="debug", kind=request.kind,
                         key=request.key, attempt=attempt,
                         attempt_seconds=attempt_elapsed, error=repr(exc),
+                        sleep=sleep,
                     )
-                    if policy.backoff > 0:
-                        time.sleep(policy.backoff * attempt)
+                    if sleep > 0:
+                        time.sleep(sleep)
         sp.set(
-            ok=False, attempt=policy.attempts, attempts=policy.attempts,
+            ok=False, attempt=deciding, attempts=policy.attempts,
             timeout=isinstance(outcome, RunTimeoutError), error=repr(outcome),
+            retryable=is_retryable(outcome) if outcome is not None else None,
         )
-        return False, time.perf_counter() - start, outcome, policy.attempts, \
+        return False, time.perf_counter() - start, outcome, deciding, \
             attempt_elapsed
+
+
+def _backoff_sleep(policy: RunPolicy, request: RunRequest, attempt: int) -> float:
+    """The sleep before the attempt after ``attempt`` (full jitter).
+
+    With ``policy.jitter`` the sleep is uniform in ``[0, backoff*k)``,
+    drawn from an RNG seeded by the request's own identity — no global
+    RNG state is read or advanced, so campaign results stay
+    bit-reproducible and pool workers never correlate their draws.
+    """
+    ceiling = policy.backoff * attempt
+    if ceiling <= 0:
+        return 0.0
+    if not policy.jitter:
+        return ceiling
+    rng = random.Random(
+        f"{request.key}|{request.seed}|{request.index}|{attempt}"
+    )
+    return ceiling * rng.random()
 
 
 def _failure_context(
@@ -408,6 +499,305 @@ def _execute_packed(
     return _attempt_request(request, targets[target_slot], machines[machine_slot])
 
 
+#: Slack (seconds) past an item's policy budget before the supervisor
+#: kills its worker: covers pool dispatch, payload pickling and the
+#: supervisor's own poll granularity.
+DEADLINE_GRACE = 0.25
+
+#: Supervisor poll interval while pooled futures are outstanding (the
+#: deadline-check cadence; completions wake the supervisor immediately).
+_POLL_INTERVAL = 0.05
+
+
+class _SupervisedRun:
+    """One supervised pooled batch: the engine behind :meth:`RunService.map`.
+
+    Resolves every item to an outcome ``(status, value, seconds)``:
+
+    ``ok``
+        ``fn`` returned ``value`` (``seconds`` unused — pooled request
+        timings travel inside the value).
+    ``error``
+        ``fn`` raised ``value``; the worker survived.
+    ``killed``
+        The item outlived its budget; the supervisor killed the pool
+        and failed it with a :class:`RunTimeoutError` after ``seconds``.
+    ``poison``
+        The item's chunk killed the pool
+        :data:`RunService.POISON_CRASH_LIMIT` times; failed with a
+        :class:`~repro.core.errors.PoisonRequestError`.
+
+    Dispatch is parent-side windowed: at most ``workers`` chunks are
+    submitted at any moment, so a submitted chunk is *executing*, which
+    makes deadline clocks honest (an item queued behind a hog never
+    burns its budget waiting) and crash blame precise (only chunks that
+    were actually on a worker when the pool broke are suspected).
+
+    Invariants: each item resolves exactly once; a pool crash requeues
+    each unresolved in-flight item exactly once (crash-suspected items
+    re-run one at a time — probe rounds — so a repeat crash attributes
+    to exactly one request before quarantine).
+    """
+
+    def __init__(
+        self,
+        service: "RunService",
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        workers: int,
+        shared: Any,
+        budgets: Sequence[float | None] | None = None,
+        keys: Sequence[str | None] | None = None,
+    ) -> None:
+        n = len(items)
+        self.service = service
+        self.fn = fn
+        self.items = items
+        self.workers = workers
+        self.shared = shared
+        self.budgets = list(budgets) if budgets is not None else [None] * n
+        self.keys = list(keys) if keys is not None else [None] * n
+        self.outcomes: list[tuple[str, Any, float] | None] = [None] * n
+        self.remaining = set(range(n))
+        self.crashes = [0] * n
+        self.bus = get_bus()
+        self.registry = get_registry()
+        self.telemetry = pack_context()
+
+    def execute(self) -> list[tuple[str, Any, float]]:
+        while self.remaining:
+            suspected = [
+                i for i in sorted(self.remaining) if self.crashes[i] > 0
+            ]
+            # Probe crash suspects one at a time: with a single chunk in
+            # flight, a repeat crash attributes to exactly one request —
+            # an innocent bystander of a poison request's chunk clears
+            # itself with one clean probe and is never quarantined.
+            batch = suspected[:1] if suspected else sorted(self.remaining)
+            if not self._round(batch):
+                break  # serial fallback resolved everything left
+        return self.outcomes  # type: ignore[return-value]
+
+    # -- one submission round -----------------------------------------------
+
+    def _round(self, pending: Sequence[int]) -> bool:
+        """Submit ``pending`` and watch it to quiescence.
+
+        Returns False when the pool proved unusable and the serial
+        fallback resolved everything remaining; True otherwise (the
+        round either resolved its items or left requeued ones in
+        ``remaining`` for the next round).
+        """
+        import pickle  # noqa: PLC0415 - parallel path only
+
+        # Budget-bearing and crash-suspected items ride in singleton
+        # chunks so deadlines and crash blame attach to one request;
+        # everything else keeps the chunked fast path.
+        singles = [
+            i for i in pending
+            if self.budgets[i] is not None or self.crashes[i] > 0
+        ]
+        bulk = [
+            i for i in pending
+            if self.budgets[i] is None and self.crashes[i] == 0
+        ]
+        chunks: list[list[int]] = [[i] for i in singles]
+        if bulk:
+            chunks.extend(
+                _split_chunks(bulk, self.workers * CHUNKS_PER_WORKER)
+            )
+        try:
+            payloads = [
+                pickle.dumps((
+                    self.fn, self.shared,
+                    [self.items[i] for i in chunk], self.telemetry,
+                ))
+                for chunk in chunks
+            ]
+            self.service._ensure_pool(self.workers)
+        except Exception as exc:  # noqa: BLE001 - infra boundary
+            return self._fallback(exc)
+        return self._watch(list(zip(chunks, payloads)))
+
+    def _watch(self, work: list[tuple[list[int], bytes]]) -> bool:
+        import concurrent.futures as cf  # noqa: PLC0415
+
+        queue = list(reversed(work))  # pop() from the front of `work`
+        futures: dict[Any, list[int]] = {}
+        started: dict[Any, float] = {}
+        while queue or futures:
+            try:
+                while queue and len(futures) < self.workers:
+                    chunk, payload = queue.pop()
+                    future = self.service._ensure_pool(self.workers).submit(
+                        _run_chunk, payload
+                    )
+                    futures[future] = chunk
+                    started[future] = time.monotonic()
+            except cf.BrokenExecutor:
+                self._handle_crash(list(futures.values()))
+                return True
+            except Exception as exc:  # noqa: BLE001 - infra boundary
+                return self._fallback(exc)
+            done, _ = cf.wait(
+                set(futures), timeout=_POLL_INTERVAL,
+                return_when=cf.FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            crashed: list[list[int]] = []
+            for future in done:
+                chunk = futures.pop(future)
+                started.pop(future, None)
+                try:
+                    chunk_outcomes, events = future.result()
+                except cf.BrokenExecutor:
+                    crashed.append(chunk)
+                except Exception as exc:  # noqa: BLE001 - infra boundary
+                    return self._fallback(exc)
+                else:
+                    if events:
+                        self.bus.replay(events)
+                    for i, (ok, value) in zip(chunk, chunk_outcomes):
+                        self.outcomes[i] = (
+                            "ok" if ok else "error", value, 0.0,
+                        )
+                        self.remaining.discard(i)
+            if crashed:
+                self._handle_crash(crashed + list(futures.values()))
+                return True  # fresh pool next round
+            victims = [
+                future for future in futures
+                if len(futures[future]) == 1
+                and self.budgets[futures[future][0]] is not None
+                and now - started[future]
+                > self.budgets[futures[future][0]] + DEADLINE_GRACE
+            ]
+            if victims:
+                self._enforce_deadlines(victims, futures, started, now)
+                return True
+        return True
+
+    # -- recovery actions ----------------------------------------------------
+
+    def _handle_crash(self, in_flight: list[list[int]]) -> None:
+        """A worker died and broke the pool: blame, quarantine, requeue.
+
+        ``in_flight`` are the chunks that were on a worker when the pool
+        broke — under windowed dispatch, exactly the executing ones.
+        Each of their unresolved items gets one crash strike; an item
+        reaching :data:`RunService.POISON_CRASH_LIMIT` strikes is
+        quarantined with :class:`PoisonRequestError`, the rest stay in
+        ``remaining`` and requeue exactly once into the next round.
+        """
+        service = self.service
+        service._shutdown_pool()  # broken: discard, restart lazily
+        service.stats["pool_crashes"] += 1
+        self.registry.inc("supervisor.pool.crashes")
+        suspects = sorted(
+            {i for chunk in in_flight for i in chunk} & self.remaining
+        )
+        self.bus.event(
+            "supervisor.pool.crash", level="warning",
+            suspects=[self.keys[i] if self.keys[i] is not None else i
+                      for i in suspects],
+            chunks_in_flight=len(in_flight),
+        )
+        for i in suspects:
+            self.crashes[i] += 1
+            if self.crashes[i] >= service.POISON_CRASH_LIMIT:
+                key = self.keys[i]
+                label = f"key={key}" if key is not None else f"#{i}"
+                exc = PoisonRequestError(
+                    f"request {label} killed the worker pool "
+                    f"{self.crashes[i]} times (limit "
+                    f"{service.POISON_CRASH_LIMIT}) and was quarantined",
+                    key=key, crashes=self.crashes[i],
+                )
+                self.outcomes[i] = ("poison", exc, 0.0)
+                self.remaining.discard(i)
+                service.stats["quarantined"] += 1
+                self.registry.inc("supervisor.quarantined")
+                self.bus.event(
+                    "supervisor.quarantine", level="error",
+                    key=key, crashes=self.crashes[i],
+                )
+        survivors = sorted(
+            {i for chunk in in_flight for i in chunk} & self.remaining
+        )
+        if survivors:
+            service.stats["requeued"] += len(survivors)
+            self.registry.inc("supervisor.requeued", len(survivors))
+            self.bus.event(
+                "supervisor.requeue", level="info", count=len(survivors),
+            )
+
+    def _enforce_deadlines(
+        self,
+        victims: list[Any],
+        futures: dict[Any, list[int]],
+        started: dict[Any, float],
+        now: float,
+    ) -> None:
+        """Kill the pool to stop over-budget items; fail them, requeue rest.
+
+        ProcessPoolExecutor cannot cancel a running call, so enforcement
+        is pool-wide: the victims fail with :class:`RunTimeoutError`,
+        every *other* in-flight item stays in ``remaining`` and requeues
+        (blame-free — the kill cause is known) on the fresh pool.
+        """
+        service = self.service
+        victim_items = set()
+        for future in victims:
+            i = futures[future][0]
+            victim_items.add(i)
+            elapsed = now - started[future]
+            budget = self.budgets[i]
+            exc = RunTimeoutError(
+                f"request ran {elapsed:.3f}s, past its {budget:g}s policy "
+                f"budget (+{DEADLINE_GRACE:g}s grace); worker killed by "
+                f"the supervisor"
+            )
+            self.outcomes[i] = ("killed", exc, elapsed)
+            self.remaining.discard(i)
+            service.stats["deadline_kills"] += 1
+            self.registry.inc("supervisor.deadline.kills")
+            self.bus.event(
+                "supervisor.deadline.kill", level="warning",
+                key=self.keys[i], budget=budget, elapsed=elapsed,
+            )
+        service._kill_pool()
+        survivors = sorted(
+            {i for chunk in futures.values() for i in chunk}
+            & self.remaining
+        )
+        if survivors:
+            service.stats["requeued"] += len(survivors)
+            self.registry.inc("supervisor.requeued", len(survivors))
+            self.bus.event(
+                "supervisor.requeue", level="info", count=len(survivors),
+            )
+
+    def _fallback(self, exc: BaseException) -> bool:
+        """Pool infrastructure is unusable: degrade to the serial path."""
+        service = self.service
+        service._shutdown_pool()
+        service.stats["fallbacks"] += 1
+        pending = sorted(self.remaining)
+        warnings.warn(
+            f"run service pool unavailable ({exc!r}); running "
+            f"{len(pending)} items serially",
+            ParallelFallbackWarning,
+            stacklevel=2,
+        )
+        values = _serial_map(
+            self.fn, [self.items[i] for i in pending], self.shared
+        )
+        for i, value in zip(pending, values):
+            self.outcomes[i] = ("ok", value, 0.0)
+            self.remaining.discard(i)
+        return False
+
+
 class RunService:
     """Executes batches of :class:`RunRequest` on a persistent pool.
 
@@ -422,10 +812,16 @@ class RunService:
     The pool starts lazily on the first parallel batch and is reused by
     every later one — ``stats["pool_starts"]`` stays at 1 across
     arbitrarily many batches unless a batch needs *more* workers (the
-    pool is restarted larger) or the pool breaks (serial fallback, then
-    a fresh pool on the next batch).  Call :meth:`close` (or use the
-    service as a context manager) to release the workers.
+    pool is restarted larger), a supervisor recovery restarts it (worker
+    crash, deadline kill) or the pool breaks irrecoverably (serial
+    fallback, then a fresh pool on the next batch).  Call :meth:`close`
+    (or use the service as a context manager) to release the workers.
     """
+
+    #: Pool crashes a single request may cause before the supervisor
+    #: quarantines it with :class:`PoisonRequestError` instead of
+    #: requeueing it again.
+    POISON_CRASH_LIMIT = 3
 
     def __init__(self, processes: int | None = None) -> None:
         self._processes = processes
@@ -436,6 +832,10 @@ class RunService:
             "requests": 0,
             "pool_starts": 0,
             "fallbacks": 0,
+            "pool_crashes": 0,
+            "deadline_kills": 0,
+            "requeued": 0,
+            "quarantined": 0,
         }
 
     # -- pool management ----------------------------------------------------
@@ -460,7 +860,9 @@ class RunService:
         if self._pool is None:
             import concurrent.futures  # noqa: PLC0415 - keep off the serial path
 
-            self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init
+            )
             self._pool_workers = workers
             self.stats["pool_starts"] += 1
         return self._pool
@@ -473,6 +875,27 @@ class RunService:
         pool, self._pool, self._pool_workers = self._pool, None, 0
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+
+    def _kill_pool(self) -> None:
+        """Forcibly terminate every pool worker (deadline enforcement).
+
+        ``shutdown()`` alone would *join* a hung worker and block
+        forever; killing the worker processes first makes the executor
+        notice the breakage and release everything.  The next batch (or
+        supervision round) lazily starts a fresh pool.
+        """
+        pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except OSError:  # already gone
+                pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - broken-pool teardown is best effort
+            pass
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent); the service stays usable
@@ -493,63 +916,49 @@ class RunService:
         items: Iterable[Any],
         processes: int | None = None,
         shared: Any = None,
+        budgets: Sequence[float | None] | None = None,
+        keys: Sequence[str | None] | None = None,
     ) -> list[Any]:
-        """Order-preserving map over the persistent pool.
+        """Order-preserving supervised map over the persistent pool.
 
         The persistent-pool counterpart of
         :func:`repro.core.multiproc.parallel_map`: same semantics
         (``shared`` ships once per worker chunk, ``fn`` exceptions
         re-raise in the parent, infrastructure failures degrade to a
         serial re-run with a warning) but without paying pool startup
-        per call.
+        per call — and supervised: a worker crash restarts the pool and
+        requeues the unfinished items exactly once per crash (an item
+        that keeps killing the pool raises
+        :class:`~repro.core.errors.PoisonRequestError` after
+        :data:`POISON_CRASH_LIMIT` crashes), and an item with a
+        ``budgets`` entry is killed and raises :class:`RunTimeoutError`
+        once over budget.  ``keys`` label items in supervisor telemetry.
         """
         items = list(items)
         workers = self.resolve_workers(processes, len(items))
         if workers <= 1:
             return _serial_map(fn, items, shared)
-        bus = get_bus()
-        try:
-            import pickle  # noqa: PLC0415 - parallel path only
-
-            # The packed span context rides inside each chunk payload:
-            # worker-side spans adopt the currently open span (e.g. a
-            # campaign wave) as their parent and their events return
-            # with the chunk results for replay below.
-            telemetry = pack_context()
-            # Pickle each chunk payload here, not in the executor's
-            # feeder thread: unpicklable payloads then fail fast into
-            # the serial fallback instead of wedging the pool.
-            payloads = [
-                pickle.dumps((fn, shared, chunk, telemetry))
-                for chunk in _split_chunks(items, workers * CHUNKS_PER_WORKER)
-            ]
-            pool = self._ensure_pool(workers)
-            futures = [pool.submit(_run_chunk, payload) for payload in payloads]
-            outcomes = []
-            for future in futures:
-                chunk_outcomes, events = future.result()
-                if events:
-                    bus.replay(events)
-                outcomes.extend(chunk_outcomes)
-        except Exception as exc:  # noqa: BLE001 - infra boundary, see below
-            # Pool infrastructure failed (fn exceptions are captured
-            # inside _run_chunk and never land here).  Degrade to the
-            # serial path rather than failing the batch.
-            self._shutdown_pool()
-            self.stats["fallbacks"] += 1
-            warnings.warn(
-                f"run service pool unavailable ({exc!r}); running "
-                f"{len(items)} items serially",
-                ParallelFallbackWarning,
-                stacklevel=2,
-            )
-            return _serial_map(fn, items, shared)
+        outcomes = self._supervised(fn, items, workers, shared, budgets, keys)
         results: list[Any] = []
-        for ok, value in outcomes:
-            if not ok:
+        for status, value, _seconds in outcomes:
+            if status != "ok":
                 raise value
             results.append(value)
         return results
+
+    def _supervised(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        workers: int,
+        shared: Any = None,
+        budgets: Sequence[float | None] | None = None,
+        keys: Sequence[str | None] | None = None,
+    ) -> list[tuple[str, Any, float]]:
+        """Supervised pooled execution; see :class:`_SupervisedRun`."""
+        return _SupervisedRun(
+            self, fn, items, workers, shared, budgets, keys
+        ).execute()
 
     # -- request execution ---------------------------------------------------
 
@@ -583,21 +992,44 @@ class RunService:
             workers = self.resolve_workers(processes, len(pooled))
             if pooled:
                 targets, machines, items = _pack(requests, pooled)
-                outcomes = self.map(
-                    _execute_packed, items, processes=processes,
-                    shared=(targets, machines),
-                )
-                for i, (ok, seconds, value, attempt, in_attempt) in zip(
-                    pooled, outcomes
-                ):
+                shared = (targets, machines)
+                if workers <= 1:
+                    supervised = [
+                        ("ok", value, 0.0)
+                        for value in _serial_map(_execute_packed, items, shared)
+                    ]
+                else:
+                    supervised = self._supervised(
+                        _execute_packed, items, workers, shared,
+                        budgets=[
+                            requests[i].policy.budget
+                            if requests[i].policy is not None else None
+                            for i in pooled
+                        ],
+                        keys=[requests[i].key for i in pooled],
+                    )
+                for i, (status, payload, sup_seconds) in zip(pooled, supervised):
+                    request = requests[i]
+                    if status == "ok":
+                        ok, seconds, value, attempt, in_attempt = payload
+                    else:
+                        # "error" (fn raised), "killed" (deadline) and
+                        # "poison" (quarantine) all resolve to a failed
+                        # result charged to the whole policy budget.
+                        policy = (
+                            request.policy if request.policy is not None
+                            else RunPolicy()
+                        )
+                        ok, seconds, value = False, sup_seconds, payload
+                        attempt, in_attempt = policy.attempts, None
                     if not ok and rethrow:
-                        _rethrow(requests[i], value, attempt, in_attempt)
+                        _rethrow(request, value, attempt, in_attempt)
                     results[i] = RunResult(
-                        request=requests[i],
+                        request=request,
                         ok=ok,
                         value=value if ok else None,
                         error=None if ok else _failure_message(
-                            requests[i], value, attempt, in_attempt
+                            request, value, attempt, in_attempt
                         ),
                         seconds=seconds,
                     )

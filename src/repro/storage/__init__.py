@@ -7,6 +7,10 @@ The paper's profiler writes profiles "on disk or in a MongoDB database"
 * ``file:///some/dir``     — one JSON file per profile (no sample limit);
 * ``mongo:///some/file``   — embedded Mongo-like DB (16 MB document limit);
 * ``mongo://``             — in-memory Mongo-like DB (still limit-enforcing).
+
+``file://`` URLs accept a ``?durability=fsync`` query — every put is
+flushed to stable storage before returning (see
+:class:`~repro.storage.filestore.FileStore`).
 """
 
 from __future__ import annotations
@@ -37,9 +41,16 @@ def open_store(url: str) -> ProfileStore:
         return MemoryStore()
     if url.startswith("file://"):
         path = url[len("file://"):]
+        durability = "default"
+        if "?" in path:
+            path, _, query = path.partition("?")
+            if query.startswith("durability="):
+                durability = query[len("durability="):]
+            elif query:
+                raise StoreError(f"unknown file:// store option {query!r}")
         if not path:
             raise StoreError("file:// store needs a directory path")
-        return FileStore(path)
+        return FileStore(path, durability=durability)
     if url.startswith("mongo://"):
         path = url[len("mongo://"):]
         db = MongoLite(path or None)

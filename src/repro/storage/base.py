@@ -33,6 +33,7 @@ from typing import Any, NamedTuple
 from repro.core.errors import ProfileNotFoundError, StoreError
 from repro.core.samples import Profile
 from repro.core.tags import normalize_command, normalize_tags, tags_match
+from repro.faults import inject
 from repro.storage.query import compile_query
 from repro.telemetry.metrics import timed
 
@@ -226,6 +227,7 @@ class MemoryStore(ProfileStore):
         self._next_id = 0
 
     def put(self, profile: Profile) -> str:
+        inject("store.put", key=profile.command)
         with timed("store.put.seconds"):
             pid = f"mem-{self._next_id}"
             self._next_id += 1
@@ -275,6 +277,7 @@ class MemoryStore(ProfileStore):
     def entries(
         self, command: object = None, tags: object = None
     ) -> list[StoreEntry]:
+        inject("store.entries")
         with timed("store.entries.seconds"):
             found = [
                 StoreEntry(pid, p.command, p.tags, p.created)
@@ -285,6 +288,9 @@ class MemoryStore(ProfileStore):
         return found
 
     def get_many(self, ids) -> list[Profile]:
+        ids = list(ids)
+        if ids:
+            inject("store.get", key=str(ids[0]))
         with timed("store.get.seconds"):
             try:
                 return [self._profiles[pid] for pid in ids]

@@ -60,9 +60,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
-from repro.core.errors import StoreError
+from repro.core.errors import ConfigError, StoreError
 from repro.core.samples import Profile
 from repro.core.tags import normalize_command, normalize_tags
+from repro.faults import inject
 from repro.storage.base import ProfileStore, StoreEntry
 from repro.storage.query import compile_query
 from repro.telemetry.metrics import get_registry, timed
@@ -105,12 +106,41 @@ class FileStore(ProfileStore):
     :class:`~repro.core.samples.Profile` objects for accepted ones).
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    #: Accepted ``durability`` modes (see ``__init__``).
+    DURABILITY_MODES = ("default", "fsync")
+
+    def __init__(
+        self, root: str | os.PathLike, durability: str = "default"
+    ) -> None:
+        """``durability="fsync"`` makes :meth:`put` crash-durable: the
+        profile file is fsynced before the atomic rename, the group
+        directory entry after it, and journal appends before returning —
+        a power loss after ``put`` returns cannot tear or lose the
+        profile.  The default leaves flushing to the OS (atomic renames
+        already prevent torn reads; a crash can only lose the very last
+        writes)."""
+        if durability not in self.DURABILITY_MODES:
+            raise ConfigError(
+                f"unknown FileStore durability {durability!r}; expected "
+                f"one of {self.DURABILITY_MODES}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.durability = durability
         self._seq = 0
         self._writer = f"{os.getpid():x}{secrets.token_hex(4)}"
         self._groups: dict[str, _GroupIndex] = {}
+
+    def _fsync_dir(self, path: Path) -> None:
+        """Flush a directory entry (rename/create) to stable storage."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # platform without directory fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     # -- writes ---------------------------------------------------------------
 
@@ -157,11 +187,17 @@ class FileStore(ProfileStore):
         # One retry after re-creating the group: a reader's empty-group
         # GC (see _load_group_index) may rmdir the directory between our
         # mkdir and this first write.
+        inject("store.put", key=profile.command)
         for attempt in (0, 1):
             try:
                 with open(tmp, "w", encoding="utf-8") as handle:
                     json.dump(profile.to_dict(), handle)
+                    if self.durability == "fsync":
+                        handle.flush()
+                        os.fsync(handle.fileno())
                 os.replace(tmp, path)
+                if self.durability == "fsync":
+                    self._fsync_dir(group)
                 break
             except OSError as exc:  # vanished group, disk full, permissions, ...
                 if attempt == 0 and not group.is_dir():
@@ -191,8 +227,15 @@ class FileStore(ProfileStore):
             for pid, profile in items
         )
         try:
+            # Inside the best-effort boundary: an injected OSError
+            # (``"error": "os"`` rules) exercises the journal-loss
+            # healing path without failing the put.
+            inject("store.journal", key=group.name)
             with open(group / INDEX_NAME, "a", encoding="utf-8") as handle:
                 handle.write(lines)
+                if self.durability == "fsync":
+                    handle.flush()
+                    os.fsync(handle.fileno())
         except OSError:
             pass
         cached = self._groups.get(group.name)
@@ -384,6 +427,7 @@ class FileStore(ProfileStore):
     def entries(
         self, command: object = None, tags: object = None
     ) -> list[StoreEntry]:
+        inject("store.entries")
         with timed("store.entries.seconds"):
             found = [
                 StoreEntry(f"{gname}/{name}", index.command, index.tags, created)
@@ -410,6 +454,9 @@ class FileStore(ProfileStore):
             raise StoreError(f"corrupt profile file {path}: {exc}") from exc
 
     def get_many(self, ids) -> list[Profile]:
+        ids = list(ids)
+        if ids:
+            inject("store.get", key=str(ids[0]))
         with timed("store.get.seconds"):
             return [
                 Profile.from_dict(self._read_doc(self.root / pid)) for pid in ids

@@ -1,0 +1,45 @@
+"""The error taxonomy: retryable vs fatal classification."""
+
+from __future__ import annotations
+
+from repro.core.errors import (
+    ConfigError,
+    FatalError,
+    PoisonRequestError,
+    RetryableError,
+    StoreError,
+    WorkloadError,
+    is_retryable,
+)
+
+
+class TestIsRetryable:
+    def test_markers_win(self):
+        assert is_retryable(RetryableError("transient"))
+        assert not is_retryable(FatalError("broken"))
+
+    def test_explicit_attribute_overrides_type(self):
+        exc = ValueError("normally retryable")
+        exc.retryable = False
+        assert not is_retryable(exc)
+        fatal = ConfigError("normally fatal")
+        fatal.retryable = True
+        assert is_retryable(fatal)
+
+    def test_config_and_workload_errors_are_fatal(self):
+        # Same inputs fail the same way every attempt: retrying burns
+        # the budget for nothing.
+        assert not is_retryable(ConfigError("bad spec"))
+        assert not is_retryable(WorkloadError("malformed workload"))
+
+    def test_environment_errors_default_retryable(self):
+        assert is_retryable(OSError("nfs hiccup"))
+        assert is_retryable(StoreError("transient store trouble"))
+        assert is_retryable(TimeoutError("slow"))
+
+    def test_poison_request_error_carries_context(self):
+        exc = PoisonRequestError("quarantined", key="cell-1", crashes=3)
+        assert isinstance(exc, FatalError)
+        assert not is_retryable(exc)
+        assert exc.key == "cell-1"
+        assert exc.crashes == 3

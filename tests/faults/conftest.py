@@ -1,0 +1,16 @@
+"""Shared fixtures for the fault-injection plane tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ENV_VAR, reset
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """Every test starts and ends with no plan and no env activation."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    reset()
+    yield
+    reset()

@@ -1,0 +1,164 @@
+"""The injection runtime: activation paths, firing modes, fuses."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.errors import StoreError
+from repro.faults import (
+    ENV_VAR,
+    FaultPlan,
+    InjectedFault,
+    activate,
+    active_plan,
+    deactivate,
+    inject,
+    injected_faults,
+    reset,
+)
+from repro.telemetry import MemorySink, get_bus, get_registry, reset_telemetry
+
+
+def _plan(**rule) -> FaultPlan:
+    return FaultPlan.from_dict({"rules": [rule]})
+
+
+class TestActivation:
+    def test_no_plan_is_a_no_op(self):
+        inject("store.put", key="anything")  # must not raise
+
+    def test_activate_and_deactivate(self):
+        plan = activate(_plan(point="store.put"))
+        assert active_plan() is plan
+        with pytest.raises(InjectedFault):
+            inject("store.put")
+        deactivate()
+        assert active_plan() is None
+        inject("store.put")
+
+    def test_env_var_activates_lazily_from_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            '{"rules": [{"point": "store.get", "at": 1}]}', encoding="utf-8"
+        )
+        monkeypatch.setenv(ENV_VAR, str(path))
+        reset()  # forget the env check; next inject() re-reads
+        with pytest.raises(InjectedFault):
+            inject("store.get")
+        # The plan stays active (hit 2 of an at=1 rule passes through).
+        inject("store.get")
+
+    def test_env_var_accepts_inline_json(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, '{"rules": [{"point": "store.put"}]}')
+        reset()
+        with pytest.raises(InjectedFault):
+            inject("store.put")
+
+    def test_deactivate_blocks_env_reactivation(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, '{"rules": [{"point": "store.put"}]}')
+        reset()
+        deactivate()
+        inject("store.put")  # env must not resurrect the plan
+
+    def test_injected_faults_restores_previous_state(self):
+        outer = activate(_plan(point="store.get"))
+        with injected_faults(_plan(point="store.put")) as inner:
+            assert active_plan() is inner
+            with pytest.raises(InjectedFault):
+                inject("store.put")
+        assert active_plan() is outer
+        with pytest.raises(InjectedFault):
+            inject("store.get")
+
+
+class TestFiring:
+    def test_error_kinds(self):
+        with injected_faults(_plan(point="p")):
+            with pytest.raises(InjectedFault, match="injected fault at p"):
+                inject("p")
+        with injected_faults(_plan(point="p", error="store")):
+            with pytest.raises(StoreError):
+                inject("p")
+        with injected_faults(_plan(point="p", error="os")):
+            with pytest.raises(OSError):
+                inject("p")
+
+    def test_error_message_carries_the_key(self):
+        with injected_faults(_plan(point="p")):
+            with pytest.raises(InjectedFault, match="key=cell-7"):
+                inject("p", key="cell-7")
+
+    def test_delay_sleeps(self):
+        with injected_faults(_plan(point="p", mode="delay", delay=0.05)):
+            start = time.perf_counter()
+            inject("p")  # returns (no raise), after sleeping
+            assert time.perf_counter() - start >= 0.05
+
+    def test_at_and_match_key(self):
+        with injected_faults(_plan(point="p", at=2, match_key="k")):
+            inject("p", key="other")  # no match: not even a hit
+            inject("p", key="k")      # hit 1: no fire
+            with pytest.raises(InjectedFault):
+                inject("p", key="k")  # hit 2: fire
+            inject("p", key="k")      # hit 3: done
+
+    def test_once_limits_an_every_rule(self):
+        with injected_faults(_plan(point="p", every=1, once=True)):
+            with pytest.raises(InjectedFault):
+                inject("p")
+            inject("p")
+            inject("p")
+
+    def test_fuse_is_one_shot_across_activations(self, tmp_path):
+        """The fuse file outlives per-process hit state — the mechanism
+        that keeps restarted pool workers from re-firing a crash rule."""
+        fuse = tmp_path / "crash.fuse"
+        plan = _plan(point="p", fuse=str(fuse))
+        with injected_faults(plan):
+            with pytest.raises(InjectedFault):
+                inject("p")
+            assert fuse.exists()
+            inject("p")  # fuse burnt: no second firing
+        # A "different process": fresh hit counters, same fuse path.
+        with injected_faults(_plan(point="p", fuse=str(fuse))):
+            inject("p")
+
+    def test_unwritable_fuse_fails_safe(self, tmp_path):
+        plan = _plan(point="p", fuse=str(tmp_path / "no" / "dir" / "f"))
+        with injected_faults(plan):
+            inject("p")  # cannot claim the fuse -> never fires
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def clean_telemetry(self):
+        reset_telemetry()
+        yield
+        reset_telemetry()
+
+    def test_firings_emit_event_and_counter(self):
+        sink = get_bus().add_sink(MemorySink())
+        try:
+            before = get_registry().counter("faults.injected")
+            with injected_faults(_plan(point="store.put")):
+                with pytest.raises(InjectedFault):
+                    inject("store.put", key="cmd")
+            events = [e for e in sink.events if e.name == "fault.injected"]
+            assert len(events) == 1
+            assert events[0].attrs["point"] == "store.put"
+            assert events[0].attrs["key"] == "cmd"
+            assert events[0].attrs["mode"] == "error"
+            assert get_registry().counter("faults.injected") == before + 1
+        finally:
+            get_bus().remove_sink(sink)
+
+    def test_non_firing_hits_are_silent(self):
+        sink = get_bus().add_sink(MemorySink())
+        try:
+            with injected_faults(_plan(point="store.put", at=99)):
+                inject("store.put")
+            assert not [e for e in sink.events if e.name == "fault.injected"]
+        finally:
+            get_bus().remove_sink(sink)

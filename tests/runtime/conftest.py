@@ -12,14 +12,14 @@ from __future__ import annotations
 def comparable_profile(profile) -> dict:
     """Profile dict minus transient run identity.
 
-    ``created`` is a wall-clock stamp and the virtual pid is a
-    process-global counter — both differ between any two executions
-    (exactly like a real OS pid would); everything measured is kept.
+    Delegates to :func:`repro.runtime.campaign.comparable_artifact` —
+    the library's own scrub list (used by ``ledger_digest`` and the CI
+    chaos-convergence check), so tests and production comparisons can
+    never drift apart.
     """
-    data = profile.to_dict()
-    data.pop("created")
-    data.get("info", {}).get("process", {}).pop("pid", None)
-    return data
+    from repro.runtime import comparable_artifact
+
+    return comparable_artifact(profile)
 
 
 def ledger_dict(store, name: str) -> dict:

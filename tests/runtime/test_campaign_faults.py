@@ -142,23 +142,21 @@ class TestShardCrashRecovery:
     def test_claims_cleaned_when_readback_fails(self, reference):
         """If the claim read-back itself dies (store error mid-scan),
         the just-written markers are deleted on the way out — an
-        immediate re-run must not defer to this invocation's corpse."""
+        immediate re-run must not defer to this invocation's corpse.
+        The failure arrives through the chaos plane's ``campaign.claim``
+        point — the same fault a ``--faults`` soak run can inject."""
         from repro.core.errors import StoreError
+        from repro.faults import FaultPlan, injected_faults
 
         spec, expected = reference
-
-        class ExplodingStore(MemoryStore):
-            explode = True
-
-            def entries(self, command=None, tags=None):
-                if self.explode and command == CLAIM_COMMAND:
-                    raise StoreError("nfs hiccup")
-                return super().entries(command, tags)
-
-        store = ExplodingStore()
-        with pytest.raises(StoreError):
-            run_campaign(spec, store, shard=(0, 2))
-        store.explode = False
+        store = MemoryStore()
+        plan = FaultPlan.from_dict({"rules": [
+            {"point": "campaign.claim", "mode": "error", "error": "store",
+             "at": 1},
+        ]})
+        with injected_faults(plan):
+            with pytest.raises(StoreError):
+                run_campaign(spec, store, shard=(0, 2))
         assert claims(store, spec.name) == {}
         report = run_campaign(spec, store, shard=(0, 2))
         assert report.deferred == 0 and report.executed == report.assigned
@@ -256,3 +254,107 @@ class TestDoubleClaimedCells:
         report = run_campaign(spec, store)  # completes shard 1's cells
         assert report.complete
         assert _ledger_dict(store, spec.name) == expected
+
+
+class TestChaosConvergence:
+    """The headline robustness invariant (the CI chaos job pins the same
+    thing end to end through the CLI): a campaign run under injected
+    faults converges to a ledger bit-identical to a fault-free run."""
+
+    def test_store_faults_converge_to_the_reference_digest(self, reference):
+        from repro.faults import FaultPlan, injected_faults
+        from repro.runtime import ledger_digest
+
+        spec, _ = reference
+        clean = MemoryStore()
+        assert run_campaign(spec, clean).complete
+        reference_digest = ledger_digest(clean, spec.name)
+
+        plan = FaultPlan.from_dict({"seed": 7, "rules": [
+            {"point": "store.put", "mode": "error", "probability": 0.05},
+            {"point": "store.entries", "mode": "error", "probability": 0.05},
+        ]})
+        faulted = MemoryStore()
+        with injected_faults(plan):
+            report = run_campaign(spec, faulted)
+        assert report.complete
+        assert ledger_digest(faulted, spec.name) == reference_digest
+
+    def test_injected_worker_crash_converges(self, reference, tmp_path):
+        """A worker crash mid-campaign (fuse-limited to exactly one):
+        the supervisor restarts the pool, the wave completes, and the
+        ledger digest still matches the fault-free run."""
+        from repro.faults import FaultPlan, injected_faults
+        from repro.runtime import ledger_digest
+
+        spec, _ = reference
+        clean = MemoryStore()
+        assert run_campaign(spec, clean).complete
+        reference_digest = ledger_digest(clean, spec.name)
+
+        plan = FaultPlan.from_dict({"rules": [
+            {"point": "worker.execute", "mode": "crash",
+             "fuse": str(tmp_path / "campaign-crash.fuse")},
+        ]})
+        faulted = MemoryStore()
+        with injected_faults(plan):
+            # A fresh service whose pool forks after plan activation.
+            with RunService(processes=2) as service:
+                report = run_campaign(spec, faulted, service=service)
+        assert report.complete
+        assert (tmp_path / "campaign-crash.fuse").exists()
+        assert service.stats["pool_crashes"] >= 1
+        assert ledger_digest(faulted, spec.name) == reference_digest
+
+    def test_ledger_digest_ignores_run_identity_only(self, reference):
+        """Two independent executions digest identically; a changed
+        result would not."""
+        from repro.runtime import ledger_digest
+
+        spec, _ = reference
+        a, b = MemoryStore(), MemoryStore()
+        run_campaign(spec, a)
+        run_campaign(spec, b)
+        assert ledger_digest(a, spec.name) == ledger_digest(b, spec.name)
+        # Tampering with a stored result must change the digest.
+        victim = sorted(completed_cells(b, spec.name))[0]
+        [artifact] = b.get_many(b.ids_for(tags=[f"cell={victim}"]))
+        artifact.info["tampered"] = True
+        assert ledger_digest(a, spec.name) != ledger_digest(b, spec.name)
+
+
+class TestGracefulDrain:
+    def test_stop_drains_the_wave_and_checkpoints(self, reference):
+        """A stop request (the SIGTERM handler's flag) finishes the
+        in-flight wave, persists it, releases claims and reports
+        ``interrupted``; a re-run completes exactly the remainder."""
+        spec, expected = reference
+        store = MemoryStore()
+        waves: list[dict] = []
+        report = run_campaign(
+            spec, store, checkpoint=2, claim=True,
+            progress=waves.append, stop=lambda: len(waves) >= 1,
+        )
+        assert report.interrupted
+        assert report.to_dict()["interrupted"] is True
+        assert report.executed == 2  # exactly the drained first wave
+        assert not report.complete
+        assert len(completed_cells(store, spec.name)) == 2
+        assert claims(store, spec.name) == {}  # no claim debris left
+        resumed = run_campaign(spec, store)
+        assert not resumed.interrupted
+        assert resumed.skipped == 2 and resumed.complete
+        assert _ledger_dict(store, spec.name) == expected
+
+    def test_stop_before_the_first_wave_executes_nothing(self, reference):
+        spec, _ = reference
+        store = MemoryStore()
+        report = run_campaign(spec, store, stop=lambda: True)
+        assert report.interrupted and report.executed == 0
+        assert store.count() == 0
+
+    def test_interrupted_table_names_the_state(self, reference):
+        spec, _ = reference
+        store = MemoryStore()
+        report = run_campaign(spec, store, checkpoint=2, stop=lambda: True)
+        assert "interrupted (drained)" in report.table().render()

@@ -360,14 +360,33 @@ class TestRunPolicy:
 
         request = RunRequest(
             kind="call", runner=broken,
-            policy=RunPolicy(retries=2, backoff=0.01),
+            policy=RunPolicy(retries=2, backoff=0.01, jitter=False),
         )
         start = _time.perf_counter()
         with RunService() as service:
             [result] = service.run([request], rethrow=False)
-        # Linear backoff: 0.01 after attempt 1 + 0.02 after attempt 2.
+        # Fixed linear backoff (jitter off): 0.01 after attempt 1 +
+        # 0.02 after attempt 2.
         assert _time.perf_counter() - start >= 0.03
         assert result.seconds >= 0.03
+
+    def test_jittered_backoff_is_deterministic_and_bounded(self):
+        from repro.runtime.service import _backoff_sleep
+
+        policy = RunPolicy(retries=2, backoff=0.5)  # jitter defaults on
+        request = RunRequest(kind="call", runner=lambda: None, key="cell-j")
+        sleeps = [_backoff_sleep(policy, request, k) for k in (1, 2)]
+        # Full jitter: uniform in [0, backoff * attempt).
+        assert 0.0 <= sleeps[0] < 0.5
+        assert 0.0 <= sleeps[1] < 1.0
+        # Seeded by request identity: same request -> same draw ...
+        assert sleeps == [_backoff_sleep(policy, request, k) for k in (1, 2)]
+        # ... different request identity -> decorrelated draw.
+        other = RunRequest(kind="call", runner=lambda: None, key="cell-k")
+        assert _backoff_sleep(policy, other, 1) != sleeps[0]
+        # jitter=False restores the fixed schedule.
+        fixed = RunPolicy(retries=2, backoff=0.5, jitter=False)
+        assert _backoff_sleep(fixed, request, 2) == 1.0
 
     def test_timeout_classifies_slow_requests_as_failed(self):
         import time as _time
@@ -424,7 +443,9 @@ class TestFailureContext:
             [result] = service.run([request], rethrow=False, processes=1)
         assert "engine request" in result.error
         assert "key=deadbeef12345678" in result.error
-        assert "attempt 2/2" in result.error
+        # WorkloadError is fatal under the retry taxonomy: the loop
+        # stops on attempt 1 instead of burning the retry budget.
+        assert "attempt 1/2" in result.error
         assert "WorkloadError" in result.error
 
     def test_pooled_failures_carry_the_same_context(self):

@@ -226,3 +226,46 @@ class TestOpenStore:
     def test_file_needs_path(self):
         with pytest.raises(StoreError):
             open_store("file://")
+
+
+class TestFileStoreDurability:
+    def test_fsync_mode_round_trips(self, tmp_path):
+        store = FileStore(tmp_path / "durable", durability="fsync")
+        pid = store.put(make_profile())
+        [loaded] = store.get_many([pid])
+        assert loaded.command == "app x"
+        # The sidecar journal still accrues (fsynced) entries.
+        assert FileStore(tmp_path / "durable").count() == 1
+
+    def test_fsync_mode_actually_syncs(self, tmp_path, monkeypatch):
+        import os as _os
+
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(
+            _os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        FileStore(tmp_path / "plain").put(make_profile())
+        assert synced == []  # default mode: no fsync on the write path
+        FileStore(tmp_path / "durable", durability="fsync").put(make_profile())
+        # Payload file + group directory + journal, at minimum.
+        assert len(synced) >= 3
+
+    def test_unknown_durability_rejected(self, tmp_path):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="durability"):
+            FileStore(tmp_path, durability="paranoid")
+
+    def test_open_store_parses_durability_query(self, tmp_path):
+        from repro.core.errors import ConfigError
+
+        store = open_store(f"file://{tmp_path}/durable?durability=fsync")
+        assert isinstance(store, FileStore)
+        assert store.durability == "fsync"
+        with pytest.raises(ConfigError, match="durability"):
+            open_store(f"file://{tmp_path}/d?durability=paranoid")
+
+    def test_open_store_rejects_unknown_query(self, tmp_path):
+        with pytest.raises(StoreError, match="unknown file:// store option"):
+            open_store(f"file://{tmp_path}/d?cache=off")
