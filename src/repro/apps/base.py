@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.sim.packed import PackedWorkload, pack_workload
 from repro.sim.resource import MachineSpec
 from repro.sim.workload import SimWorkload
 
@@ -33,6 +34,16 @@ class ApplicationModel(ABC):
         different resources (the paper's main source of emulation
         uncertainty, §7).
         """
+
+    def build_packed(self, machine: MachineSpec) -> PackedWorkload:
+        """Columnar form of :meth:`build_workload` (same demands).
+
+        The default compiles the object workload; models override it
+        with a direct column builder so large workloads never
+        materialise per-demand objects at all.  Both forms execute
+        bit-identically.
+        """
+        return pack_workload(self.build_workload(machine))
 
     def command(self) -> str:
         """The command string under which profiles of this app are indexed."""

@@ -141,7 +141,7 @@ class Emulator:
     def _run_sim(self, plan: EmulationPlan) -> EmulationResult:
         assert self.backend is not None
         machine = getattr(self.backend, "machine", None)
-        workload = plan.build_sim_workload(self.config, machine)
+        workload = plan.build_packed_workload(self.config, machine)
         handle = self.backend.spawn(workload)
         handle.wait()
         record = handle.record

@@ -26,6 +26,7 @@ from repro.core.errors import EmulationError
 from repro.core.samples import Profile
 from repro.kernels.registry import get_kernel
 from repro.sim.demands import ComputeDemand, IODemand, MemoryDemand, NetworkDemand, SleepDemand
+from repro.sim.packed import PackedBuilder, PackedWorkload
 from repro.sim.resource import MachineSpec
 from repro.sim.workload import SimWorkload
 
@@ -308,3 +309,98 @@ class EmulationPlan:
                     )
                 )
         return workload
+
+    def build_packed_workload(
+        self, config: SynapseConfig, machine: MachineSpec | None = None
+    ) -> PackedWorkload:
+        """Columnar twin of :meth:`build_sim_workload`.
+
+        Emits the exact same demands in the same phase/stream order but
+        straight into packed columns, so replaying large plans (one phase
+        per profile sample) never materialises per-demand objects.
+        """
+        del machine
+        config = self.effective_config(config)
+        kernel = get_kernel(config.compute_kernel)
+        threads = max(config.openmp_threads, 1)
+        paradigm = "openmp"
+        if config.mpi_processes > 1:
+            threads = config.mpi_processes
+            paradigm = "mpi"
+        fs = config.io_filesystem
+        stall_override = None
+        if config.efficiency_target is not None:
+            stall_override = 1.0 / config.efficiency_target - 1.0
+
+        b = PackedBuilder(
+            f"synapse-emulate {self.command}",
+            base_rss=EMULATOR_BASE_RSS,
+            metadata={
+                "emulation_of": self.command,
+                "kernel": kernel.name,
+                "command": f"synapse-emulate {self.command}",
+            },
+        )
+
+        b.phase("emulator-startup")
+        b.stream("driver")
+        b.sleep(EMULATOR_STARTUP_SLEEP)
+        b.compute(
+            instructions=EMULATOR_STARTUP_INSTRUCTIONS,
+            workload_class="app.startup",
+        )
+
+        load_fraction = config.cpu_load
+        for plan_sample in self.samples:
+            work = plan_sample.work
+            if work.empty:
+                continue
+            b.phase(f"sample-{plan_sample.index}")
+            if work.cycles > 0:
+                flop_frac = min(1.0, work.flops / work.cycles) if work.cycles else 0.0
+                b.stream("compute")
+                b.compute(
+                    instructions=0.0,
+                    workload_class=kernel.workload_class,
+                    calibrated_cycles=work.cycles,
+                    flops_per_instruction=flop_frac,
+                    threads=threads,
+                    paradigm=paradigm,
+                    stall_ratio=stall_override,
+                )
+                if load_fraction > 0:
+                    b.stream("cpu-load")
+                    b.compute(
+                        instructions=0.0,
+                        workload_class=kernel.workload_class,
+                        calibrated_cycles=work.cycles * load_fraction,
+                    )
+            if work.read_bytes > 0 or work.write_bytes > 0:
+                b.stream("storage")
+                if work.read_bytes > 0:
+                    b.io(
+                        bytes_read=work.read_bytes,
+                        block_size=int(config.io_block_size_read),
+                        filesystem=fs,
+                    )
+                if work.write_bytes > 0:
+                    b.io(
+                        bytes_written=work.write_bytes,
+                        block_size=int(config.io_block_size_write),
+                        filesystem=fs,
+                    )
+            if work.alloc_bytes > 0 or work.free_bytes > 0:
+                b.stream("memory")
+                b.memory(
+                    allocate=work.alloc_bytes,
+                    free=work.free_bytes,
+                    block_size=int(config.mem_block_size),
+                )
+            if work.sent_bytes > 0 or work.received_bytes > 0:
+                b.stream("network")
+                b.network(
+                    bytes_sent=work.sent_bytes,
+                    bytes_received=work.received_bytes,
+                    block_size=int(config.net_block_size),
+                )
+        return b.build()

@@ -91,16 +91,22 @@ def _noise_model(request: RunRequest, spec: Any, workload: Any):
 
 
 def _resolve_workload(target: Any, spec: Any):
+    from repro.sim.packed import PackedWorkload  # noqa: PLC0415 (cycle)
     from repro.sim.workload import SimWorkload  # noqa: PLC0415 (cycle)
 
-    if isinstance(target, SimWorkload):
+    if isinstance(target, (SimWorkload, PackedWorkload)):
         return target
+    # Prefer the columnar builder — same demands, no per-demand objects.
+    builder = getattr(target, "build_packed", None)
+    if callable(builder):
+        return builder(spec)
     builder = getattr(target, "build_workload", None)
     if callable(builder):
         return builder(spec)
     raise WorkloadError(
         f"cannot execute {target!r} as an engine request: expected a "
-        "SimWorkload or an object with build_workload(machine)"
+        "SimWorkload, a PackedWorkload, or an object with "
+        "build_workload(machine)"
     )
 
 

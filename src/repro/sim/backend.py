@@ -23,6 +23,7 @@ from repro.core.errors import WorkloadError
 from repro.sim.clock import VirtualClock
 from repro.sim.engine import Engine, ExecutionRecord
 from repro.sim.noise import NoiseModel, seed_from
+from repro.sim.packed import PackedWorkload
 from repro.sim.process import SimProcess
 from repro.sim.resource import MachineSpec
 from repro.sim.workload import SimWorkload
@@ -31,7 +32,11 @@ __all__ = ["SimBackend"]
 
 
 def _noise_for(
-    machine: MachineSpec, workload: SimWorkload, noisy: bool, seed: int, index: int
+    machine: MachineSpec,
+    workload: SimWorkload | PackedWorkload,
+    noisy: bool,
+    seed: int,
+    index: int,
 ) -> NoiseModel:
     """The deterministic noise model of spawn number ``index``.
 
@@ -182,13 +187,19 @@ class SimBackend(ExecutionBackend):
         svc = service if service is not None else get_service()
         return [result.value for result in svc.run(requests, processes=processes)]
 
-    def _resolve(self, target: Any) -> SimWorkload:
-        if isinstance(target, SimWorkload):
+    def _resolve(self, target: Any) -> SimWorkload | PackedWorkload:
+        if isinstance(target, (SimWorkload, PackedWorkload)):
             return target
+        # Columnar fast path: application models that build packed
+        # workloads directly skip per-demand object materialisation.
+        builder = getattr(target, "build_packed", None)
+        if callable(builder):
+            return builder(self.machine)
         builder = getattr(target, "build_workload", None)
         if callable(builder):
             return builder(self.machine)
         raise WorkloadError(
             f"cannot execute {target!r} on the sim backend: expected a "
-            "SimWorkload or an object with build_workload(machine)"
+            "SimWorkload, a PackedWorkload, or an object with "
+            "build_workload(machine)"
         )

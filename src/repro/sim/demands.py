@@ -27,7 +27,7 @@ class Demand:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComputeDemand(Demand):
     """Execute ``instructions`` machine instructions.
 
@@ -63,7 +63,7 @@ class ComputeDemand(Demand):
             raise ValueError("stall_ratio must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IODemand(Demand):
     """Read/write bytes from/to a named filesystem in fixed-size blocks."""
 
@@ -79,7 +79,7 @@ class IODemand(Demand):
             raise ValueError("block size must be positive")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryDemand(Demand):
     """Allocate and/or free bytes of memory (libc malloc/free analogue)."""
 
@@ -94,7 +94,7 @@ class MemoryDemand(Demand):
             raise ValueError("block size must be positive")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetworkDemand(Demand):
     """Send/receive bytes over a (virtual) socket connection."""
 
@@ -110,7 +110,7 @@ class NetworkDemand(Demand):
             raise ValueError("block size must be positive")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SleepDemand(Demand):
     """Consume wall time without consuming any other resource.
 

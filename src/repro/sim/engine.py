@@ -67,6 +67,7 @@ from repro.sim.demands import (
     SleepDemand,
 )
 from repro.sim.noise import NoiseModel
+from repro.sim.packed import PackedWorkload
 from repro.sim.resource import MachineSpec
 from repro.sim.workload import Phase, SimWorkload
 from repro.telemetry.spans import span
@@ -85,6 +86,71 @@ class IOEvent(NamedTuple):
     filesystem: str
 
 
+class _LazyIOEvents(Sequence):
+    """Per-operation :class:`IOEvent` list, materialised on first access.
+
+    Most consumers (profilers sampling counters, campaign reductions)
+    never look at I/O events, so building one object per operation on
+    every run is pure overhead; the columns are kept instead and the
+    event list is built only when someone indexes or iterates.  Pickling
+    (records shipping through the run-service pool) degrades to a plain
+    list.
+    """
+
+    __slots__ = ("_starts", "_read", "_written", "_block", "_fs", "_events")
+
+    def __init__(self, starts, read, written, block, fs) -> None:
+        self._starts = starts
+        self._read = read
+        self._written = written
+        self._block = block
+        self._fs = fs
+        self._events: list[IOEvent] | None = None
+
+    def _materialise(self) -> list[IOEvent]:
+        if self._events is None:
+            events: list[IOEvent] = []
+            starts = np.asarray(self._starts).tolist()
+            read = np.asarray(self._read).tolist()
+            written = np.asarray(self._written).tolist()
+            block = np.asarray(self._block).tolist()
+            fs = self._fs
+            for j, t in enumerate(starts):
+                if read[j]:
+                    events.append(IOEvent(t, "read", read[j], block[j], fs[j]))
+                if written[j]:
+                    events.append(IOEvent(t, "write", written[j], block[j], fs[j]))
+            self._events = events
+        return self._events
+
+    def __len__(self) -> int:
+        if self._events is not None:
+            return len(self._events)
+        if not len(self._starts):
+            return 0
+        return int(
+            np.count_nonzero(np.asarray(self._read))
+            + np.count_nonzero(np.asarray(self._written))
+        )
+
+    def __getitem__(self, index):
+        return self._materialise()[index]
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (list, tuple, _LazyIOEvents)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<io_events n={len(self)}>"
+
+    def __reduce__(self):
+        return (list, (self._materialise(),))
+
+
 @dataclass
 class ExecutionRecord:
     """Complete observable history of one simulated process execution."""
@@ -93,7 +159,7 @@ class ExecutionRecord:
     duration: float
     counters: dict[str, TimeSeries]
     levels: dict[str, TimeSeries]
-    io_events: list[IOEvent]
+    io_events: Sequence[IOEvent]
     phase_bounds: list[tuple[float, float]]
     metadata: dict[str, Any] = field(default_factory=dict)
 
@@ -189,6 +255,19 @@ class _Gather:
         self.n_recv: tuple = ()
         self.n_block: tuple = ()
         self.s_secs: tuple = ()
+
+
+class _Frame(NamedTuple):
+    """Result of executing one gathered window (a run or one batch)."""
+
+    duration: float
+    counters: dict[str, TimeSeries]
+    levels: dict[str, TimeSeries]
+    io_events: Sequence[IOEvent]
+    phase_bounds: list[tuple[float, float]]
+    rss_end: float
+    peak_end: float
+    carries: dict[str, tuple[float, float, float]]
 
 
 class Engine:
@@ -479,6 +558,139 @@ class Engine:
         g.contention = contention
         return g
 
+    # -- columnar bind pass ------------------------------------------------------
+
+    def _bind(self, p: PackedWorkload) -> _Gather:
+        """Bind packed columns to this machine: the zero-object gather.
+
+        The per-demand Python loop of :meth:`_gather` collapses to a
+        handful of vectorised lookups — machine parameters are resolved
+        once per *distinct* workload class / paradigm / filesystem name
+        and fanned out to demands by interned code.  The resulting view
+        is value-identical to gathering the equivalent object workload,
+        so execution downstream is bit-identical.
+        """
+        cpu = self.machine.cpu
+        cores = cpu.cores
+        g = _Gather()
+        g.n = p.n
+        g.n_phases = p.n_phases
+        g.kinds = p.kinds
+        g.streams = list(
+            zip(p.stream_phase.tolist(), p.stream_first.tolist(), p.stream_end.tolist())
+        )
+        counts = p.stream_end - p.stream_first
+        demand_phase = np.repeat(p.stream_phase, counts)
+        contention = np.ones(p.n)
+
+        workers = _EMPTY_POS
+        if p.c_pos.size:
+            g.c_pos = p.c_pos
+            g.c_instr = p.c_instr
+            g.c_cc = p.c_cc
+            g.c_fpi = p.c_fpi
+            n_cls = len(p.class_names)
+            ipc_t = np.empty(n_cls)
+            bias_t = np.empty(n_cls)
+            sr_t = np.empty(n_cls)
+            ff_t = np.empty(n_cls)
+            for code, wc in enumerate(p.class_names):
+                spec = cpu.spec(wc)
+                ipc_t[code] = spec.ipc
+                bias_t[code] = spec.cycle_bias
+                sr_t[code] = spec.stall_ratio
+                ff_t[code] = spec.stall_front_fraction
+            cls = p.c_class
+            g.c_ipc = ipc_t[cls]
+            g.c_bias = bias_t[cls]
+            g.c_ff = ff_t[cls]
+            g.c_sr = np.where(np.isnan(p.c_sr), sr_t[cls], p.c_sr)
+            workers = np.minimum(p.c_threads, cores)
+            g.c_workers = workers
+            factor = np.ones(workers.size)
+            over = np.zeros(workers.size)
+            multi = workers > 1
+            if multi.any():
+                # Resolve scaling once per distinct (paradigm, workers).
+                key = p.c_paradigm[multi] * (cores + 1) + workers[multi]
+                uniq, inv = np.unique(key, return_inverse=True)
+                f_u = np.empty(uniq.size)
+                o_u = np.empty(uniq.size)
+                for u_idx, k in enumerate(uniq.tolist()):
+                    scaling = self.machine.scaling_model(
+                        p.paradigm_names[k // (cores + 1)]
+                    )
+                    w = int(k % (cores + 1))
+                    f_u[u_idx] = scaling.time_factor(w)
+                    o_u[u_idx] = scaling.overhead_cycles_fraction(w)
+                factor[multi] = f_u[inv]
+                over[multi] = o_u[inv]
+            g.c_factor = factor
+            g.c_over = over
+
+            # Phase CPU contention: sum of each stream's max worker count.
+            c_stream = np.searchsorted(p.stream_first, p.c_pos, side="right") - 1
+            seg_starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(c_stream)) + 1)
+            )
+            seg_max = np.maximum.reduceat(workers.astype(float), seg_starts)
+            phase_workers = np.bincount(
+                p.stream_phase[c_stream[seg_starts]],
+                weights=seg_max,
+                minlength=p.n_phases,
+            )
+            f_cpu = np.maximum(1.0, phase_workers / cores)
+            contention[p.c_pos] = f_cpu[demand_phase[p.c_pos]]
+
+        if p.i_pos.size:
+            g.i_pos = p.i_pos
+            g.i_read = p.i_read
+            g.i_written = p.i_written
+            g.i_block = p.i_block
+            n_fs = len(p.fs_names)
+            rlat = np.empty(n_fs)
+            wlat = np.empty(n_fs)
+            rblend = np.empty(n_fs)
+            wbw = np.empty(n_fs)
+            for code, fs_name in enumerate(p.fs_names):
+                fs = self.machine.filesystem(fs_name)
+                hit = fs.cache_hit_fraction
+                rlat[code] = fs.read_latency
+                wlat[code] = fs.write_latency
+                rblend[code] = hit / fs.cache_bandwidth + (1.0 - hit) / fs.read_bandwidth
+                wbw[code] = fs.write_bandwidth
+            g.i_rlat = rlat[p.i_fs]
+            g.i_wlat = wlat[p.i_fs]
+            g.i_rblend = rblend[p.i_fs]
+            g.i_wbw = wbw[p.i_fs]
+            g.i_fs = np.asarray(p.fs_names, dtype=object)[p.i_fs]
+
+            # Per-(phase, filesystem) stream counts → I/O contention.
+            i_stream = np.searchsorted(p.stream_first, p.i_pos, side="right") - 1
+            pair = np.unique(i_stream * n_fs + p.i_fs)
+            fs_streams = np.zeros((p.n_phases, n_fs))
+            np.add.at(fs_streams, (p.stream_phase[pair // n_fs], pair % n_fs), 1.0)
+            f_io = np.maximum(1.0, fs_streams)
+            contention[p.i_pos] = f_io[demand_phase[p.i_pos], p.i_fs]
+
+        if p.m_pos.size:
+            g.m_pos = p.m_pos
+            g.m_alloc = p.m_alloc
+            g.m_free = p.m_free
+            g.m_block = p.m_block
+            g.m_phase = demand_phase[p.m_pos]
+        if p.net_pos.size:
+            g.n_pos = p.net_pos
+            g.n_sent = p.net_sent
+            g.n_recv = p.net_recv
+            g.n_block = p.net_block
+        if p.s_pos.size:
+            g.s_pos = p.s_pos
+            g.s_secs = p.s_secs
+
+        g.contention = contention
+        return g
+
     # -- batched cost kernels ----------------------------------------------------
 
     def _compute_costs(self, g: _Gather) -> dict[str, np.ndarray]:
@@ -562,8 +774,14 @@ class Engine:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self, workload: SimWorkload) -> ExecutionRecord:
-        """Execute a workload; returns its full observable history."""
+    def run(self, workload: SimWorkload | PackedWorkload) -> ExecutionRecord:
+        """Execute a workload; returns its full observable history.
+
+        Accepts the object form (``SimWorkload``) and the columnar form
+        (:class:`~repro.sim.packed.PackedWorkload`) interchangeably —
+        both produce bit-identical records; the packed form skips the
+        per-demand gather pass entirely.
+        """
         with span(
             "engine.run", workload=workload.name, machine=self.machine.name
         ) as sp:
@@ -571,8 +789,43 @@ class Engine:
             sp.set(demands=workload.n_demands, sim_duration=record.duration)
         return record
 
-    def _run(self, workload: SimWorkload) -> ExecutionRecord:
-        g = self._gather(workload)
+    def _run(self, workload: SimWorkload | PackedWorkload) -> ExecutionRecord:
+        if isinstance(workload, PackedWorkload):
+            g = self._bind(workload)
+        else:
+            g = self._gather(workload)
+        frame = self._execute(g, float(workload.base_rss))
+        metadata = dict(workload.metadata)
+        metadata.setdefault("workload_name", workload.name)
+        return ExecutionRecord(
+            machine=self.machine,
+            duration=frame.duration,
+            counters=frame.counters,
+            levels=frame.levels,
+            io_events=frame.io_events,
+            phase_bounds=frame.phase_bounds,
+            metadata=metadata,
+        )
+
+    def _execute(
+        self,
+        g: _Gather,
+        base_rss: float,
+        *,
+        t_start: float = 0.0,
+        rss0: float | None = None,
+        peak0: float | None = None,
+        initial: dict[str, tuple[float, float, float]] | None = None,
+    ) -> "_Frame":
+        """Cost, noise and timeline for one gathered window of demands.
+
+        With the default arguments this executes a whole workload from
+        virtual time zero (the :meth:`run` path).  The streaming path
+        calls it once per arrival batch with the previous batch's end
+        time, RSS level/peak and per-counter carries, which — because
+        every accumulation here is a left-associated fold — continues
+        the timelines bit-identically to an uninterrupted run.
+        """
         n = g.n
 
         costs: dict[int, dict[str, np.ndarray]] = {}
@@ -596,26 +849,26 @@ class Engine:
         noisy = self._draw_noise(g, durations, costs)
         durations = noisy.pop("duration")
 
-        t0, t1, phase_bounds = self._timeline(g, durations)
-        duration = phase_bounds[-1][1] if phase_bounds else 0.0
+        t0, t1, phase_bounds = self._timeline(g, durations, t_start)
+        duration = phase_bounds[-1][1] if phase_bounds else t_start
 
-        counters = self._build_counters(self._pack_counters(g, t0, t1, noisy), duration)
-        levels = self._build_levels(workload, g, t0, t1, duration)
-        io_events = self._collect_io_events(g, t0)
-
-        metadata = dict(workload.metadata)
-        metadata.setdefault("workload_name", workload.name)
-        return ExecutionRecord(
-            machine=self.machine,
-            duration=duration,
-            counters=counters,
-            levels=levels,
-            io_events=io_events,
-            phase_bounds=phase_bounds,
-            metadata=metadata,
+        counters, carries = self._build_counters(
+            self._pack_counters(g, t0, t1, noisy), t_start, duration, initial
+        )
+        levels, rss_end, peak_end = self._build_levels(
+            g, t0, t1, base_rss, t_start, duration, rss0, peak0
+        )
+        io_events = _LazyIOEvents(
+            t0[g.i_pos], g.i_read, g.i_written, g.i_block, g.i_fs
+        )
+        return _Frame(
+            duration, counters, levels, io_events, phase_bounds,
+            rss_end, peak_end, carries,
         )
 
-    def run_many(self, workloads: Iterable[SimWorkload]) -> list[ExecutionRecord]:
+    def run_many(
+        self, workloads: Iterable[SimWorkload | PackedWorkload]
+    ) -> list[ExecutionRecord]:
         """Execute several workloads back to back on this engine.
 
         Runs share the engine's noise model, so the RNG stream continues
@@ -626,6 +879,41 @@ class Engine:
         :meth:`repro.sim.backend.SimBackend.spawn_many`.
         """
         return [self.run(workload) for workload in workloads]
+
+    # -- streaming ---------------------------------------------------------------
+
+    def open_stream(
+        self,
+        name: str = "stream",
+        base_rss: int = 2 << 20,
+        metadata: dict[str, Any] | None = None,
+    ):
+        """Open an incremental run: feed arrival batches, get timelines.
+
+        Returns an :class:`~repro.sim.stream.EngineStream`; see there
+        for ``feed``/``checkpoint``/``restore`` semantics.
+        """
+        from repro.sim.stream import EngineStream  # noqa: PLC0415 (cycle)
+
+        return EngineStream(self, name=name, base_rss=base_rss, metadata=metadata)
+
+    def run_stream(
+        self,
+        arrivals: Iterable[SimWorkload | PackedWorkload],
+        name: str = "stream",
+        base_rss: int = 2 << 20,
+        metadata: dict[str, Any] | None = None,
+    ):
+        """Execute an arrival stream of demand batches incrementally.
+
+        A generator of per-batch :class:`ExecutionRecord` deltas (times
+        are absolute, counter values cumulative across batches), so a
+        million-demand run holds only one batch in memory at a time.
+        Batches are complete phase groups: each starts at a barrier.
+        """
+        stream = self.open_stream(name=name, base_rss=base_rss, metadata=metadata)
+        for batch in arrivals:
+            yield stream.feed(batch)
 
     # -- batched noise ----------------------------------------------------------
 
@@ -679,18 +967,19 @@ class Engine:
 
     @staticmethod
     def _timeline(
-        g: _Gather, durations: np.ndarray
+        g: _Gather, durations: np.ndarray, t_start: float = 0.0
     ) -> tuple[np.ndarray, np.ndarray, list[tuple[float, float]]]:
         """Per-demand start/end times and phase bounds.
 
         Demands run serially within a stream (cumulative sum of noisy
         durations, left-associated like the scalar accumulation), streams
-        start together at the phase start, and phases are barriers.
+        start together at the phase start, and phases are barriers.  The
+        first phase starts at ``t_start`` (nonzero for streamed batches).
         """
         t0 = np.empty(g.n)
         t1 = np.empty(g.n)
         phase_bounds: list[tuple[float, float]] = []
-        t_phase = 0.0
+        t_phase = float(t_start)
         stream_iter = iter(g.streams)
         pending = next(stream_iter, None)
         for p_idx in range(g.n_phases):
@@ -733,77 +1022,157 @@ class Engine:
     @staticmethod
     def _build_counters(
         packed: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]],
-        duration: float,
-    ) -> dict[str, TimeSeries]:
-        """Turn accrual spans into piecewise-linear cumulative series."""
+        t_lo: float,
+        t_hi: float,
+        initial: dict[str, tuple[float, float, float]] | None = None,
+    ) -> tuple[dict[str, TimeSeries], dict[str, tuple[float, float, float]]]:
+        """Turn accrual spans into piecewise-linear cumulative series.
+
+        Series cover the window ``[t_lo, t_hi]`` (the whole run for the
+        batch path).  ``initial`` maps counter names to their
+        ``(raw, guarded)`` carry from the previous window: the raw
+        left-fold sum seeds this window's ``cumsum`` and the guarded
+        value floors the monotonic guard, so streamed windows reproduce
+        the uninterrupted series bit for bit.  Returns the series plus
+        this window's end carries.
+        """
         out: dict[str, TimeSeries] = {}
-        for name in sorted(packed):
-            t0a, t1a, amt = packed[name]
-            mask = amt != 0.0
-            if not mask.any():
-                out[name] = TimeSeries([0.0, duration], [0.0, 0.0])
+        carries: dict[str, tuple[float, float, float]] = {}
+        if initial is None:
+            initial = {}
+        # Counters of one demand type share their span arrays; cache the
+        # breakpoint grid per (t0, t1) identity so the expensive sorts
+        # run once per type, not once per counter.
+        grid_cache: dict[tuple[int, int], tuple] = {}
+        for name in sorted(set(packed) | set(initial)):
+            raw0, guard0, rate0 = initial.get(name, (0.0, 0.0, 0.0))
+            spans = packed.get(name)
+            mask = None if spans is None else (spans[2] != 0.0)
+            if spans is None or not mask.any():
+                # Nothing accrues in this window: carry the level flat.
+                out[name] = TimeSeries([t_lo, t_hi], [guard0, guard0])
+                carries[name] = (raw0, guard0, rate0)
                 continue
-            if not mask.all():
+            t0a, t1a, amt = spans
+            if mask.all():
+                key = (id(t0a), id(t1a))
+                cached = grid_cache.get(key)
+                if cached is None:
+                    t1a = np.maximum(t1a, t0a + 1e-12)
+                    bps = np.unique(np.concatenate([[t_lo, t_hi], t0a, t1a]))
+                    i0 = np.searchsorted(bps, t0a)
+                    i1 = np.searchsorted(bps, t1a)
+                    idle = _idle_intervals(bps.size, i0, i1)
+                    widths = np.diff(bps)
+                    grid_cache[key] = (t0a, t1a, bps, i0, i1, idle, widths)
+                else:
+                    t0a, t1a, bps, i0, i1, idle, widths = cached
+            else:
                 t0a, t1a, amt = t0a[mask], t1a[mask], amt[mask]
-            t1a = np.maximum(t1a, t0a + 1e-12)
+                t1a = np.maximum(t1a, t0a + 1e-12)
+                bps = np.unique(np.concatenate([[t_lo, t_hi], t0a, t1a]))
+                i0 = np.searchsorted(bps, t0a)
+                i1 = np.searchsorted(bps, t1a)
+                idle = _idle_intervals(bps.size, i0, i1)
+                widths = np.diff(bps)
             rates = amt / (t1a - t0a)
-            bps = np.unique(np.concatenate([[0.0, duration], t0a, t1a]))
-            delta = np.zeros(bps.size)
-            i0 = np.searchsorted(bps, t0a)
-            i1 = np.searchsorted(bps, t1a)
-            np.add.at(delta, i0, rates)
-            np.add.at(delta, i1, -rates)
-            rate_per_interval = np.cumsum(delta)[:-1]
-            increments = rate_per_interval * np.diff(bps)
-            values = np.concatenate([[0.0], np.cumsum(increments)])
+            # Two bins per breakpoint — span *ends* fold before span
+            # *starts* at the same timestamp.  This keeps the running
+            # rate a pure left fold that batch boundaries (always phase
+            # barriers) split cleanly, so streamed windows seeded with
+            # the carried running rate continue it bit for bit.
+            delta = np.zeros(2 * bps.size)
+            np.add.at(delta, 2 * i1, -rates)
+            np.add.at(delta, 2 * i0 + 1, rates)
+            running = np.cumsum(np.concatenate([[rate0], delta]))
+            rate_per_interval = running[2::2][: bps.size - 1].copy()
+            # Overlapping spans leave ~1-ulp fold residue after they all
+            # end; the exact integer span count pins idle intervals to a
+            # rate of exactly zero (and makes them exactly flat).
+            rate_per_interval[idle] = 0.0
+            increments = rate_per_interval * widths
+            values = np.cumsum(np.concatenate([[raw0], increments]))
+            raw_end = float(values[-1])
             # Guard against tiny negative drift from float cancellation.
-            values = np.maximum.accumulate(np.maximum(values, 0.0))
-            out[name] = TimeSeries(bps, values)
-        return out
+            values = np.maximum.accumulate(np.maximum(values, guard0))
+            out[name] = TimeSeries.presorted(bps, values)
+            carries[name] = (raw_end, float(values[-1]), float(running[-1]))
+        return out, carries
 
     # -- level timelines -----------------------------------------------------------
 
     def _build_levels(
         self,
-        workload: SimWorkload,
         g: _Gather,
         t0: np.ndarray,
         t1: np.ndarray,
-        duration: float,
-    ) -> dict[str, TimeSeries]:
-        rss_steps: list[tuple[float, float]] = [(0.0, float(workload.base_rss))]
-        rss = float(workload.base_rss)
+        base_rss: float,
+        t_lo: float,
+        t_hi: float,
+        rss0: float | None = None,
+        peak0: float | None = None,
+    ) -> tuple[dict[str, TimeSeries], float, float]:
+        """Level series over ``[t_lo, t_hi]``; returns end RSS and peak.
+
+        ``rss0``/``peak0`` carry the previous window's end level and
+        running maximum into a streamed window (``None`` starts a run
+        from ``base_rss``).
+        """
+        rss = float(base_rss) if rss0 is None else rss0
         if g.m_pos.size:
             # RSS changes apply in global time order *within* each phase
-            # (barriers order the phases themselves).  The running level
-            # clamps at zero, a sequential dependency, so this stays a
-            # (short) scalar loop over memory demands only.
-            whens = t1[g.m_pos].tolist()
-            by_phase: dict[int, list[tuple[float, float]]] = {}
-            for j, p_idx in enumerate(g.m_phase):
-                by_phase.setdefault(p_idx, []).append(
-                    (whens[j], float(g.m_alloc[j] - g.m_free[j]))
-                )
-            for p_idx in sorted(by_phase):
-                for when, delta in sorted(by_phase[p_idx]):
-                    rss = max(0.0, rss + delta)
-                    rss_steps.append((when, rss))
-
-        rss_series = _step_series(rss_steps, duration)
+            # (barriers order the phases themselves), ties broken by
+            # delta — the same total order the scalar fold used.  The
+            # running level clamps at zero, a sequential dependency, but
+            # between clamps the fold is a plain cumulative sum, so the
+            # loop below runs once per *clamp* (usually never), not once
+            # per demand, and each segment's cumsum reproduces the
+            # scalar left fold bit for bit.
+            whens = t1[g.m_pos]
+            deltas = (
+                np.asarray(g.m_alloc, dtype=np.int64)
+                - np.asarray(g.m_free, dtype=np.int64)
+            ).astype(float)
+            order = np.lexsort((deltas, whens, np.asarray(g.m_phase)))
+            whens = whens[order]
+            deltas = deltas[order]
+            folded = np.empty(deltas.size)
+            start = 0
+            while start < deltas.size:
+                seg = np.cumsum(np.concatenate(([rss], deltas[start:])))[1:]
+                below = np.flatnonzero(seg < 0.0)
+                if not below.size:
+                    folded[start:] = seg
+                    rss = float(seg[-1])
+                    break
+                cut = int(below[0])
+                folded[start : start + cut] = seg[:cut]
+                folded[start + cut] = 0.0
+                rss = 0.0
+                start += cut + 1
+            rss_series = _step_series_arrays(
+                np.concatenate(([t_lo], whens)),
+                np.concatenate(([float(base_rss) if rss0 is None else rss0], folded)),
+                t_lo,
+                t_hi,
+            )
+        else:
+            rss_series = _step_series([(t_lo, rss)], t_lo, t_hi)
+        peak_series = _running_max(rss_series, peak0)
         levels = {
             "mem.rss": rss_series,
-            "mem.peak": _running_max(rss_series),
-            "cpu.threads": self._thread_level(g, t0, t1, duration),
+            "mem.peak": peak_series,
+            "cpu.threads": self._thread_level(g, t0, t1, t_lo, t_hi),
         }
-        levels["sys.load_cpu"] = TimeSeries(
+        levels["sys.load_cpu"] = TimeSeries.presorted(
             levels["cpu.threads"].times,
             levels["cpu.threads"].values / self.machine.cpu.cores,
         )
-        return levels
+        return levels, rss, float(peak_series.values[-1])
 
     @staticmethod
     def _thread_level(
-        g: _Gather, t0: np.ndarray, t1: np.ndarray, duration: float
+        g: _Gather, t0: np.ndarray, t1: np.ndarray, t_lo: float, t_hi: float
     ) -> TimeSeries:
         """Active-worker level series, fully vectorised.
 
@@ -811,14 +1180,15 @@ class Engine:
         ``(start, +workers-1)`` / ``(end, -(workers-1))`` event pair into
         the scalar :func:`_thread_series` accumulation: events sort by
         ``(time, delta)``, the running level starts at one worker, and
-        recorded levels clamp at one.
+        recorded levels clamp at one.  (No cross-window carry is needed:
+        windows start at phase barriers, where every stream has joined.)
         """
         if not g.c_pos.size:
-            return TimeSeries([0.0, duration], [1.0, 1.0])
+            return TimeSeries([t_lo, t_hi], [1.0, 1.0])
         workers = np.asarray(g.c_workers, dtype=float)
         multi = workers > 1
         if not multi.any():
-            return TimeSeries([0.0, duration], [1.0, 1.0])
+            return TimeSeries([t_lo, t_hi], [1.0, 1.0])
         extra = workers[multi] - 1.0
         pos = g.c_pos[multi]
         whens = np.concatenate([t0[pos], t1[pos]])
@@ -827,27 +1197,11 @@ class Engine:
         whens = whens[order]
         levels = np.maximum(1.0, 1.0 + np.cumsum(deltas[order]))
         return _step_series_arrays(
-            np.concatenate(([0.0], whens)),
+            np.concatenate(([t_lo], whens)),
             np.concatenate(([1.0], levels)),
-            duration,
+            t_lo,
+            t_hi,
         )
-
-    @staticmethod
-    def _collect_io_events(g: _Gather, t0: np.ndarray) -> list[IOEvent]:
-        events: list[IOEvent] = []
-        if not g.i_pos.size:
-            return events
-        starts = t0[g.i_pos].tolist()
-        for j, t in enumerate(starts):
-            if g.i_read[j]:
-                events.append(
-                    IOEvent(t, "read", g.i_read[j], g.i_block[j], g.i_fs[j])
-                )
-            if g.i_written[j]:
-                events.append(
-                    IOEvent(t, "write", g.i_written[j], g.i_block[j], g.i_fs[j])
-                )
-        return events
 
 
 #: Counter names per demand type, in scalar-dict insertion order (the
@@ -870,6 +1224,19 @@ def _positions(g: _Gather, kind: int) -> np.ndarray:
     return (g.c_pos, g.i_pos, g.m_pos, g.n_pos, g.s_pos)[kind]
 
 
+def _idle_intervals(n_bps: int, i0: np.ndarray, i1: np.ndarray) -> np.ndarray:
+    """Boolean mask of breakpoint intervals with zero active spans.
+
+    The active-span count is exact integer arithmetic, so idle intervals
+    are identified identically by a full run and by its streamed
+    windows — which is what lets both pin their rates to exactly zero.
+    """
+    steps = np.zeros(n_bps, dtype=np.int64)
+    np.add.at(steps, i0, 1)
+    np.add.at(steps, i1, -1)
+    return np.cumsum(steps)[:-1] == 0
+
+
 def _counter_items(
     kind: int, group: dict[str, np.ndarray]
 ) -> list[tuple[str, np.ndarray]]:
@@ -882,35 +1249,44 @@ def _named_counters(
     return {name: group[name] for name in _KIND_COUNTERS[kind]}
 
 
-def _step_series(steps: Sequence[tuple[float, float]], duration: float) -> TimeSeries:
-    """Build a piecewise-constant series from (time, new_level) steps."""
+def _step_series(
+    steps: Sequence[tuple[float, float]], t_lo: float, t_hi: float
+) -> TimeSeries:
+    """Build a piecewise-constant series from (time, new_level) steps.
+
+    The series opens at ``t_lo`` and closes at ``max(t_hi, last step
+    time)``.  Steps at absolute time zero only set the opening level;
+    steps at any later time emit a level transition — including steps
+    exactly at a window's ``t_lo``, which an uninterrupted run (where
+    that instant is interior) would have emitted too.
+    """
     steps = sorted(steps)
     times: list[float] = []
     values: list[float] = []
     level = steps[0][1] if steps else 0.0
-    times.append(0.0)
+    times.append(t_lo)
     values.append(level)
     for when, new_level in steps:
         if when > 0.0:
             times.extend([when, when])
             values.extend([level, new_level])
         level = new_level
-    times.append(max(duration, times[-1]))
+    times.append(max(t_hi, times[-1]))
     values.append(level)
     return TimeSeries(times, values)
 
 
 def _step_series_arrays(
-    times: np.ndarray, values: np.ndarray, duration: float
+    times: np.ndarray, values: np.ndarray, t_lo: float, t_hi: float
 ) -> TimeSeries:
     """Vectorised :func:`_step_series` over ``(time, new_level)`` arrays.
 
     Replicates the scalar loop exactly: steps sort by ``(time, level)``,
     each positive-time step emits the level just before and just after
-    it, and the series is closed at ``max(duration, last step time)``.
+    it, and the series is closed at ``max(t_hi, last step time)``.
     """
     if not times.size:
-        return _step_series([], duration)
+        return _step_series([], t_lo, t_hi)
     order = np.lexsort((values, times))
     times = times[order]
     values = values[order]
@@ -922,16 +1298,16 @@ def _step_series_arrays(
     k = kept_t.size
     out_t = np.empty(2 * k + 2)
     out_v = np.empty(2 * k + 2)
-    out_t[0] = 0.0
+    out_t[0] = t_lo
     out_v[0] = values[0]
     out_t[1:-1:2] = kept_t
     out_t[2:-1:2] = kept_t
     out_v[1:-1:2] = prev[keep]
     out_v[2:-1:2] = values[keep]
-    last_t = kept_t[-1] if k else 0.0
-    out_t[-1] = duration if duration > last_t else last_t
+    last_t = kept_t[-1] if k else t_lo
+    out_t[-1] = t_hi if t_hi > last_t else last_t
     out_v[-1] = values[-1]
-    return TimeSeries(out_t, out_v)
+    return TimeSeries.presorted(out_t, out_v)
 
 
 def _thread_series(deltas: Sequence[tuple[float, float]], duration: float) -> TimeSeries:
@@ -944,11 +1320,15 @@ def _thread_series(deltas: Sequence[tuple[float, float]], duration: float) -> Ti
     for when, delta in events:
         level += delta
         steps.append((when, max(1.0, level)))
-    return _step_series([(0.0, 1.0)] + steps, duration)
+    return _step_series([(0.0, 1.0)] + steps, 0.0, duration)
 
 
-def _running_max(series: TimeSeries) -> TimeSeries:
-    """Monotone running maximum of a level series (peak RSS)."""
+def _running_max(series: TimeSeries, floor: float | None = None) -> TimeSeries:
+    """Monotone running maximum of a level series (peak RSS).
+
+    ``floor`` carries a previous window's peak into a streamed window.
+    """
     if not len(series):
         return series
-    return TimeSeries(series.times, np.maximum.accumulate(series.values))
+    values = series.values if floor is None else np.maximum(series.values, floor)
+    return TimeSeries.presorted(series.times, np.maximum.accumulate(values))

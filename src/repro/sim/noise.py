@@ -99,6 +99,37 @@ class NoiseModel:
         values = np.asarray(values, dtype=float)
         return self.apply(values, np.full(values.shape, self.counter_sigma))
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the model, including RNG position.
+
+        ``standard_normal`` draws are split-invariant for the underlying
+        bit generator (drawing *k₁* then *k₂* values yields the same
+        stream as drawing *k₁+k₂* at once), so restoring this state and
+        continuing produces exactly the draws an uninterrupted model
+        would have made.
+        """
+        return {
+            "duration_sigma": self.duration_sigma,
+            "counter_sigma": self.counter_sigma,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NoiseModel":
+        """Rebuild a model mid-stream from :meth:`state_dict` output."""
+        model = cls(
+            seed=0,
+            duration_sigma=state["duration_sigma"],
+            counter_sigma=state["counter_sigma"],
+        )
+        rng_state = state["rng"]
+        bit_gen = getattr(np.random, rng_state["bit_generator"])()
+        bit_gen.state = rng_state
+        model._rng = np.random.Generator(bit_gen)
+        return model
+
     @classmethod
     def silent(cls) -> "NoiseModel":
         """A noise model that changes nothing (exact, repeatable runs)."""

@@ -21,7 +21,7 @@ from repro.sim.demands import Demand
 __all__ = ["Stream", "Phase", "SimWorkload"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Stream:
     """A serial sequence of demands (one virtual thread of activity)."""
 
@@ -39,7 +39,7 @@ class Stream:
         return not self.demands
 
 
-@dataclass
+@dataclass(slots=True)
 class Phase:
     """Concurrent streams bounded by barriers on both sides."""
 
@@ -58,7 +58,7 @@ class Phase:
         return all(s.empty for s in self.streams)
 
 
-@dataclass
+@dataclass(slots=True)
 class SimWorkload:
     """A complete virtual process for the simulation engine.
 

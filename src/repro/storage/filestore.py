@@ -55,6 +55,7 @@ import json
 import os
 import secrets
 from bisect import insort
+from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -68,10 +69,15 @@ from repro.storage.base import ProfileStore, StoreEntry
 from repro.storage.query import compile_query
 from repro.telemetry.metrics import get_registry, timed
 
-__all__ = ["FileStore", "INDEX_NAME"]
+__all__ = ["FileStore", "INDEX_NAME", "PAYLOAD_CACHE_SIZE"]
 
 #: Name of the per-group sidecar index journal.
 INDEX_NAME = "index.jsonl"
+
+#: Decoded-payload LRU capacity (documents, not bytes).  Profile files
+#: are immutable once renamed into place, so a cached parse stays valid
+#: for as long as the ``(mtime_ns, size)`` stat signature matches.
+PAYLOAD_CACHE_SIZE = 512
 
 
 def _key_hash(command: str, tags: tuple[str, ...]) -> str:
@@ -130,6 +136,10 @@ class FileStore(ProfileStore):
         self._seq = 0
         self._writer = f"{os.getpid():x}{secrets.token_hex(4)}"
         self._groups: dict[str, _GroupIndex] = {}
+        #: pid -> ((mtime_ns, size), decoded document), LRU-ordered.
+        self._payloads: OrderedDict[str, tuple[tuple[int, int], dict[str, Any]]] = (
+            OrderedDict()
+        )
 
     def _fsync_dir(self, path: Path) -> None:
         """Flush a directory entry (rename/create) to stable storage."""
@@ -255,6 +265,7 @@ class FileStore(ProfileStore):
         except FileNotFoundError as exc:
             raise StoreError(f"no stored profile {pid!r}") from exc
         self._groups.pop(path.parent.name, None)
+        self._payloads.pop(pid, None)
 
     # -- index plane ----------------------------------------------------------
 
@@ -331,8 +342,10 @@ class FileStore(ProfileStore):
         healed: dict[str, tuple[str, tuple[str, ...], float]] = {}
         for name in missing:
             # Only the index fields are needed — read them off the raw
-            # document instead of deserialising every sample.
-            doc = self._read_doc(group / name)
+            # document instead of deserialising every sample.  Healing
+            # goes through the payload cache so a follow-up ``get`` of
+            # the same profile reuses this parse.
+            doc = self._cached_doc(f"{group.name}/{name}")
             healed[name] = (
                 str(doc["command"]),
                 tuple(str(tag) for tag in doc.get("tags", ())),
@@ -453,14 +466,42 @@ class FileStore(ProfileStore):
         except (OSError, json.JSONDecodeError) as exc:
             raise StoreError(f"corrupt profile file {path}: {exc}") from exc
 
+    def _cached_doc(self, pid: str) -> dict[str, Any]:
+        """Decoded document of one profile, via the payload LRU.
+
+        Profile files never change in place (writes are rename-only), so
+        a ``(mtime_ns, size)`` stat signature decides reuse: a match
+        skips open+parse entirely; any mismatch — or a replaced file —
+        re-reads and refreshes the cache.  Callers must not mutate the
+        returned document (``Profile.from_dict`` copies what it keeps).
+        """
+        path = self.root / pid
+        try:
+            st = os.stat(path)
+            sig = (st.st_mtime_ns, st.st_size)
+        except OSError:
+            sig = None
+        if sig is not None:
+            cached = self._payloads.get(pid)
+            if cached is not None and cached[0] == sig:
+                self._payloads.move_to_end(pid)
+                get_registry().inc("store.payload.hit")
+                return cached[1]
+        get_registry().inc("store.payload.miss")
+        doc = self._read_doc(path)
+        if sig is not None:
+            self._payloads[pid] = (sig, doc)
+            self._payloads.move_to_end(pid)
+            while len(self._payloads) > PAYLOAD_CACHE_SIZE:
+                self._payloads.popitem(last=False)
+        return doc
+
     def get_many(self, ids) -> list[Profile]:
         ids = list(ids)
         if ids:
             inject("store.get", key=str(ids[0]))
         with timed("store.get.seconds"):
-            return [
-                Profile.from_dict(self._read_doc(self.root / pid)) for pid in ids
-            ]
+            return [Profile.from_dict(self._cached_doc(pid)) for pid in ids]
 
     def find(
         self,
@@ -474,7 +515,7 @@ class FileStore(ProfileStore):
             for gname, index in self._matching_groups(command, tags):
                 for name, created in index.entries:
                     pid = f"{gname}/{name}"
-                    doc = self._read_doc(self.root / pid)
+                    doc = self._cached_doc(pid)
                     if matcher is not None and not matcher(doc):
                         continue
                     found.append((created, pid, Profile.from_dict(doc)))
@@ -494,7 +535,7 @@ class FileStore(ProfileStore):
             (created, f"{gname}/{name}")
             for gname, index in self._matching_groups(command, tags)
             for name, created in index.entries
-            if matcher(self._read_doc(self.root / f"{gname}/{name}"))
+            if matcher(self._cached_doc(f"{gname}/{name}"))
         ]
         found.sort()
         return [pid for _created, pid in found]

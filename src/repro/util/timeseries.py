@@ -73,6 +73,28 @@ class TimeSeries:
         self._vmin: float | None = None
         self._vmax: float | None = None
 
+    @classmethod
+    def presorted(cls, times: object, values: object) -> "TimeSeries":
+        """Wrap arrays the caller guarantees aligned and time-sorted.
+
+        The engine's hot paths build breakpoint grids that are sorted by
+        construction; this constructor skips the O(n) monotonicity scan
+        that :meth:`__init__` runs.  Passing unsorted times is a caller
+        bug and breaks interpolation silently — use ``__init__`` unless
+        the ordering is structural.
+        """
+        series = cls.__new__(cls)
+        t = _as_floats(times)
+        v = _as_floats(values)
+        if t.shape != v.shape:
+            raise ValueError("times and values must have the same length")
+        series._times = t
+        series._values = v
+        series._n = int(t.size)
+        series._vmin = None
+        series._vmax = None
+        return series
+
     # -- storage -----------------------------------------------------------
 
     @property

@@ -1,0 +1,442 @@
+"""Columnar (packed) workloads: builder fidelity and engine bit-identity.
+
+The packed plane's contract is *exact* equivalence, not tolerance: the
+engine's ``_bind`` over a :class:`PackedWorkload` must produce the same
+gather — and therefore bit-identical records — as ``_gather`` over the
+equivalent :class:`SimWorkload`, silent or noisy.  These tests pin that
+on randomised workloads covering all five demand types, contention
+phases, and every direct ``build_packed`` builder in the tree.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.apps import EnsembleApp, GromacsModel, SleeperApp, SyntheticApp
+from repro.apps.ensemble import EnsembleStage
+from repro.apps.skeleton import chain, fan_out_fan_in
+from repro.atoms.base import AtomWork
+from repro.core.config import SynapseConfig
+from repro.core.errors import WorkloadError
+from repro.core.plan import EmulationPlan, PlanSample
+from repro.sim.backend import SimBackend
+from repro.sim.demands import (
+    ComputeDemand,
+    IODemand,
+    MemoryDemand,
+    NetworkDemand,
+    SleepDemand,
+)
+from repro.sim.engine import Engine
+from repro.sim.machines import get_machine
+from repro.sim.noise import NoiseModel
+from repro.sim.packed import PackedBuilder, PackedWorkload, pack_workload
+from repro.sim.workload import Phase, SimWorkload, Stream
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def random_workload(rng: np.random.Generator, machine, name: str = "rand") -> SimWorkload:
+    """A randomised workload exercising all five demand types and
+    multi-stream (contention) phases."""
+    filesystems = sorted(machine.filesystems)
+    workload = SimWorkload(name=name, base_rss=int(rng.integers(1 << 20, 8 << 20)))
+    for p in range(int(rng.integers(1, 5))):
+        phase = workload.phase(f"p{p}")
+        for s in range(int(rng.integers(1, 4))):
+            stream = phase.stream(f"s{s}")
+            for _ in range(int(rng.integers(0, 6))):
+                kind = int(rng.integers(0, 5))
+                if kind == 0:
+                    stream.add(
+                        ComputeDemand(
+                            instructions=float(rng.uniform(1e6, 1e9)),
+                            workload_class=str(
+                                rng.choice(["app.generic", "app.md", "app.startup"])
+                            ),
+                            flops_per_instruction=float(rng.uniform(0, 1)),
+                            threads=int(rng.integers(1, 8)),
+                            paradigm=str(rng.choice(["serial", "openmp", "mpi"])),
+                            calibrated_cycles=(
+                                float(rng.uniform(1e6, 1e9))
+                                if rng.integers(0, 2)
+                                else None
+                            ),
+                            stall_ratio=(
+                                float(rng.uniform(0, 2)) if rng.integers(0, 2) else None
+                            ),
+                        )
+                    )
+                elif kind == 1:
+                    stream.add(
+                        IODemand(
+                            bytes_read=int(rng.integers(0, 1 << 24)),
+                            bytes_written=int(rng.integers(0, 1 << 24)),
+                            block_size=int(rng.integers(1, 1 << 21)),
+                            filesystem=str(rng.choice(filesystems)),
+                        )
+                    )
+                elif kind == 2:
+                    stream.add(
+                        MemoryDemand(
+                            allocate=int(rng.integers(0, 1 << 26)),
+                            free=int(rng.integers(0, 1 << 24)),
+                            block_size=int(rng.integers(1, 1 << 21)),
+                        )
+                    )
+                elif kind == 3:
+                    stream.add(
+                        NetworkDemand(
+                            bytes_sent=int(rng.integers(0, 1 << 20)),
+                            bytes_received=int(rng.integers(0, 1 << 20)),
+                            block_size=int(rng.integers(1, 1 << 17)),
+                        )
+                    )
+                else:
+                    stream.add(SleepDemand(float(rng.uniform(0, 0.5))))
+    return workload
+
+
+def assert_packed_equal(got: PackedWorkload, ref: PackedWorkload) -> None:
+    assert got.name == ref.name
+    assert got.base_rss == ref.base_rss
+    assert got.metadata == ref.metadata
+    assert got.n == ref.n
+    assert got.n_phases == ref.n_phases
+    assert got.class_names == ref.class_names
+    assert got.paradigm_names == ref.paradigm_names
+    assert got.fs_names == ref.fs_names
+    for attr in ("kinds", "stream_phase", "stream_first", "stream_end"):
+        assert np.array_equal(getattr(got, attr), getattr(ref, attr)), attr
+    got_cols, ref_cols = got.column_arrays(), ref.column_arrays()
+    assert got_cols.keys() == ref_cols.keys()
+    for key in ref_cols:
+        a, b = got_cols[key], ref_cols[key]
+        assert a.dtype == b.dtype, key
+        assert np.array_equal(a, b, equal_nan=(a.dtype.kind == "f")), key
+
+
+def assert_records_identical(got, ref) -> None:
+    """Bit-exact record equality — no tolerances anywhere."""
+    assert got.duration == ref.duration
+    assert got.phase_bounds == ref.phase_bounds
+    assert set(got.counters) == set(ref.counters)
+    for name in ref.counters:
+        assert np.array_equal(got.counters[name].times, ref.counters[name].times), name
+        assert np.array_equal(got.counters[name].values, ref.counters[name].values), name
+    assert set(got.levels) == set(ref.levels)
+    for name in ref.levels:
+        assert np.array_equal(got.levels[name].times, ref.levels[name].times), name
+        assert np.array_equal(got.levels[name].values, ref.levels[name].values), name
+    assert list(got.io_events) == list(ref.io_events)
+    assert got.totals() == ref.totals()
+
+
+# -- compiler ----------------------------------------------------------------
+
+
+def test_pack_workload_is_deterministic():
+    rng = np.random.default_rng(0)
+    machine = get_machine("stampede")
+    workload = random_workload(rng, machine)
+    assert_packed_equal(pack_workload(workload), pack_workload(workload))
+
+
+def test_pack_preserves_counts_and_structure():
+    rng = np.random.default_rng(1)
+    machine = get_machine("thinkie")
+    workload = random_workload(rng, machine)
+    packed = pack_workload(workload)
+    assert packed.n == workload.n_demands
+    assert packed.n_phases == len(workload.phases)
+    assert packed.base_rss == workload.base_rss
+    # Streams are contiguous index ranges partitioning [0, n).
+    sizes = packed.stream_end - packed.stream_first
+    assert int(sizes.sum()) == packed.n
+    assert (sizes >= 0).all()
+
+
+def test_pack_empty_workload():
+    packed = pack_workload(SimWorkload(name="empty"))
+    assert packed.n == 0
+    assert packed.empty
+    record = Engine(get_machine("thinkie"), NoiseModel.silent()).run(packed)
+    assert record.duration == 0.0
+
+
+def test_none_calibrated_cycles_round_trip_as_nan():
+    workload = SimWorkload(name="cc")
+    stream = workload.phase("p").stream("s")
+    stream.add(ComputeDemand(instructions=1e6))
+    stream.add(ComputeDemand(instructions=0.0, calibrated_cycles=2e6))
+    packed = pack_workload(workload)
+    assert np.isnan(packed.c_cc[0])
+    assert packed.c_cc[1] == 2e6
+
+
+# -- engine bit-identity -----------------------------------------------------
+
+
+@pytest.mark.parametrize("machine_name", ["thinkie", "stampede", "comet"])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("noisy", [False, True], ids=["silent", "noisy"])
+def test_randomized_engine_bit_identity(machine_name, seed, noisy):
+    machine = get_machine(machine_name)
+    workload = random_workload(np.random.default_rng(seed), machine)
+
+    def noise():
+        if not noisy:
+            return NoiseModel.silent()
+        return NoiseModel(seed=seed + 99, duration_sigma=0.02, counter_sigma=0.007)
+
+    ref = Engine(machine, noise()).run(workload)
+    got = Engine(machine, noise()).run(pack_workload(workload))
+    assert_records_identical(got, ref)
+
+
+def test_run_many_accepts_packed():
+    machine = get_machine("thinkie")
+    engine = Engine(machine, NoiseModel.silent())
+    workload = random_workload(np.random.default_rng(5), machine)
+    packed = pack_workload(workload)
+    refs = engine.run_many([workload, workload])
+    gots = engine.run_many([packed, packed])
+    for got, ref in zip(gots, refs):
+        assert_records_identical(got, ref)
+
+
+def test_lazy_io_events_behave_like_lists():
+    machine = get_machine("stampede")
+    workload = random_workload(np.random.default_rng(2), machine)
+    ref = Engine(machine, NoiseModel.silent()).run(workload)
+    got = Engine(machine, NoiseModel.silent()).run(pack_workload(workload))
+    events = got.io_events
+    assert len(events) == len(list(ref.io_events))
+    assert list(events) == list(ref.io_events)
+    if len(events):
+        assert events[0] == list(ref.io_events)[0]
+    # Records cross process boundaries in spawn_many: pickling must work
+    # and reduce the lazy sequence to a plain list.
+    assert pickle.loads(pickle.dumps(events)) == list(events)
+
+
+# -- direct builders ---------------------------------------------------------
+
+APP_CASES = [
+    ("synthetic-full", lambda: SyntheticApp(
+        instructions=5e8, bytes_read=1 << 22, bytes_written=1 << 21,
+        memory_bytes=1 << 24, net_sent=1 << 20, net_received=1 << 19,
+        sleep_seconds=0.2, threads=4, overlap_io=True, chunks=12)),
+    ("synthetic-serial", lambda: SyntheticApp(
+        instructions=3e8, bytes_written=1 << 20, chunks=5)),
+    ("synthetic-empty-overlap", lambda: SyntheticApp(overlap_io=True, chunks=3)),
+    ("gromacs-threads", lambda: GromacsModel(iterations=20_000, threads=4)),
+    ("sleeper", lambda: SleeperApp(sleep_seconds=1.5)),
+    ("ensemble", lambda: EnsembleApp(stages=(
+        EnsembleStage(tasks=4, instructions=1e9, bytes_written=4096),
+        EnsembleStage(tasks=1, instructions=5e8)))),
+    ("skeleton-chain", lambda: chain(
+        {"a": SleeperApp(sleep_seconds=0.1), "b": GromacsModel(iterations=2000)})),
+    ("skeleton-fan", lambda: fan_out_fan_in(
+        SyntheticApp(bytes_read=1 << 20, chunks=2),
+        {"w1": GromacsModel(iterations=1000), "w2": SleeperApp(sleep_seconds=0.2)},
+        SyntheticApp(bytes_written=1 << 20, chunks=2))),
+]
+
+
+@pytest.mark.parametrize(
+    "factory", [case[1] for case in APP_CASES], ids=[case[0] for case in APP_CASES]
+)
+def test_app_build_packed_matches_compiler(factory):
+    machine = get_machine("stampede")
+    app = factory()
+    assert_packed_equal(
+        app.build_packed(machine), pack_workload(app.build_workload(machine))
+    )
+
+
+def test_plan_build_packed_workload_matches_compiler():
+    rng = np.random.default_rng(11)
+    samples = [
+        PlanSample(
+            index=i,
+            work=AtomWork(
+                cycles=float(rng.integers(0, 2)) * float(rng.uniform(1e6, 1e9)),
+                flops=float(rng.uniform(0, 5e8)),
+                alloc_bytes=int(rng.integers(0, 1 << 22)),
+                free_bytes=int(rng.integers(0, 1 << 20)),
+                read_bytes=int(rng.integers(0, 1 << 22)),
+                write_bytes=int(rng.integers(0, 1 << 22)),
+                sent_bytes=int(rng.integers(0, 1 << 16)),
+                received_bytes=int(rng.integers(0, 1 << 16)),
+            ),
+        )
+        for i in range(25)
+    ]
+    plan = EmulationPlan(samples=samples, command="cmd")
+    for config in (
+        SynapseConfig(),
+        SynapseConfig(cpu_load=0.5, efficiency_target=0.8),
+        SynapseConfig(mpi_processes=4, io_filesystem="lustre"),
+    ):
+        assert_packed_equal(
+            plan.build_packed_workload(config),
+            pack_workload(plan.build_sim_workload(config)),
+        )
+
+
+def test_backend_resolves_packed_targets():
+    backend = SimBackend("thinkie", noisy=True, seed=7)
+    app = GromacsModel(iterations=5_000)
+    packed = app.build_packed(backend.machine)
+    ref = SimBackend("thinkie", noisy=True, seed=7).spawn(app).record
+    got = backend.spawn(packed).record
+    assert_records_identical(got, ref)
+
+
+def test_backend_prefers_build_packed():
+    class Probe:
+        def __init__(self):
+            self.packed_calls = 0
+
+        def build_packed(self, machine):
+            self.packed_calls += 1
+            return GromacsModel(iterations=1000).build_packed(machine)
+
+        def build_workload(self, machine):  # pragma: no cover - must not run
+            raise AssertionError("build_workload used despite build_packed")
+
+    probe = Probe()
+    SimBackend("thinkie", noisy=False).spawn(probe)
+    assert probe.packed_calls == 1
+
+
+# -- builder validation ------------------------------------------------------
+
+
+def test_builder_rejects_invalid_demands():
+    b = PackedBuilder("bad")
+    with pytest.raises(WorkloadError):
+        b.compute(instructions=-1.0)
+    with pytest.raises(WorkloadError):
+        b.compute(threads=0)
+    with pytest.raises(WorkloadError):
+        b.io(bytes_read=-1)
+    with pytest.raises(WorkloadError):
+        b.io(block_size=0)
+    with pytest.raises(WorkloadError):
+        b.memory(allocate=-1)
+    with pytest.raises(WorkloadError):
+        b.network(bytes_sent=-1)
+    with pytest.raises(WorkloadError):
+        b.sleep(-0.1)
+
+
+def test_bulk_builders_match_scalar_appends():
+    instr = np.array([1e6, 2e6, 3e6])
+    reads = np.array([1 << 20, 2 << 20])
+    allocs = np.array([4 << 20, 8 << 20])
+    sent = np.array([64 << 10, 128 << 10])
+
+    bulk = PackedBuilder("bulk")
+    bulk.phase("p").stream("s")
+    bulk.compute_many(instr, workload_class="app.md", threads=2, paradigm="openmp")
+    bulk.io_many(bytes_read=reads, bytes_written=1 << 19, filesystem="local")
+    bulk.memory_many(allocate=allocs, free=2 << 20)
+    bulk.network_many(bytes_sent=sent, bytes_received=32 << 10)
+
+    scalar = PackedBuilder("bulk")
+    scalar.phase("p").stream("s")
+    for i in instr:
+        scalar.compute(
+            instructions=float(i),
+            workload_class="app.md",
+            threads=2,
+            paradigm="openmp",
+        )
+    for r in reads:
+        scalar.io(bytes_read=int(r), bytes_written=1 << 19, filesystem="local")
+    for a in allocs:
+        scalar.memory(allocate=int(a), free=2 << 20)
+    for s in sent:
+        scalar.network(bytes_sent=int(s), bytes_received=32 << 10)
+
+    assert_packed_equal(bulk.build(), scalar.build())
+
+
+def test_bulk_builders_reject_invalid_demands():
+    b = PackedBuilder("bad-bulk")
+    with pytest.raises(WorkloadError):
+        b.memory_many(allocate=[-1])
+    with pytest.raises(WorkloadError):
+        b.memory_many(allocate=[1], block_size=0)
+    with pytest.raises(WorkloadError):
+        b.network_many(bytes_sent=[-1])
+    with pytest.raises(WorkloadError):
+        b.network_many(bytes_sent=[1], block_size=0)
+
+
+def test_append_flat_reinterns_name_tables():
+    inner = PackedBuilder("inner")
+    inner.phase("p").stream("s")
+    inner.compute(instructions=1e6, workload_class="app.md", paradigm="mpi")
+    inner.io(bytes_read=1024, filesystem="lustre")
+    inner_packed = inner.build()
+
+    outer = PackedBuilder("outer")
+    outer.phase("p0").stream("s0")
+    outer.compute(instructions=2e6, workload_class="app.generic")
+    outer.io(bytes_written=2048, filesystem="local")
+    outer.append_flat(inner_packed)
+    packed = outer.build()
+
+    assert packed.n == 4
+    assert "app.md" in packed.class_names
+    assert "mpi" in packed.paradigm_names
+    assert "lustre" in packed.fs_names
+    # The inner demands keep their own codes through the remap.
+    assert packed.class_names[packed.c_class[1]] == "app.md"
+    assert packed.fs_names[packed.i_fs[1]] == "lustre"
+
+
+# -- satellite: slotted demand/workload objects ------------------------------
+
+
+@pytest.mark.parametrize(
+    "instance",
+    [
+        ComputeDemand(instructions=1.0),
+        IODemand(bytes_read=1),
+        MemoryDemand(allocate=1),
+        NetworkDemand(bytes_sent=1),
+        SleepDemand(0.1),
+        Stream(),
+        Phase(),
+        SimWorkload(name="w"),
+    ],
+    ids=lambda obj: type(obj).__name__,
+)
+def test_hot_path_objects_are_slotted(instance):
+    assert not hasattr(instance, "__dict__")
+    # Frozen+slots dataclasses raise FrozenInstanceError on 3.12+, but a
+    # TypeError on 3.11 (cpython gh-91126); either way, no new attributes.
+    with pytest.raises((AttributeError, TypeError)):
+        instance.arbitrary_new_attribute = 1
+
+
+# -- the streaming prerequisite: RNG split invariance ------------------------
+
+
+def test_standard_normal_draws_are_split_invariant():
+    """PCG64 ``standard_normal(k1); standard_normal(k2)`` must equal one
+    ``standard_normal(k1 + k2)`` call bit for bit — the property that
+    lets a streamed run consume the noise stream in batch-sized bites.
+    """
+    whole = np.random.Generator(np.random.PCG64(123)).standard_normal(97)
+    gen = np.random.Generator(np.random.PCG64(123))
+    parts = np.concatenate([gen.standard_normal(k) for k in (13, 41, 29, 14)])
+    assert np.array_equal(whole, parts)

@@ -1,0 +1,188 @@
+"""Streaming engine runs: incremental batches, checkpoint/restore.
+
+The contract under test is the strongest one the engine offers: feeding
+a workload through :class:`EngineStream` in phase-group batches is
+*bit-identical* to one :meth:`Engine.run` over the concatenated
+workload — absolute times, cumulative counters, carried RSS/peak, noise
+draws — and the same holds across a JSON checkpoint/restore boundary.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.sim.engine import Engine
+from repro.sim.machines import get_machine
+from repro.sim.noise import NoiseModel
+from repro.sim.packed import pack_workload
+from repro.sim.stream import EngineStream
+from repro.sim.workload import SimWorkload
+
+from test_packed import assert_records_identical, random_workload
+
+
+def split_phases(workload: SimWorkload, groups: int) -> list[SimWorkload]:
+    """Cut a workload into ``groups`` consecutive phase-group batches."""
+    per = max(1, -(-len(workload.phases) // groups))
+    return [
+        SimWorkload(
+            name=workload.name,
+            phases=workload.phases[start : start + per],
+            base_rss=workload.base_rss,
+            metadata=dict(workload.metadata),
+        )
+        for start in range(0, len(workload.phases), per)
+    ]
+
+
+def noise_for(noisy: bool, seed: int) -> NoiseModel:
+    if not noisy:
+        return NoiseModel.silent()
+    return NoiseModel(seed=seed, duration_sigma=0.02, counter_sigma=0.007)
+
+
+def assert_stream_matches_full(records, full, machine) -> None:
+    """Batch records must tile the full record exactly."""
+    assert records, "stream produced no records"
+    assert records[-1].duration == full.duration
+    bounds = [b for record in records for b in record.phase_bounds]
+    assert bounds == full.phase_bounds
+    events = [e for record in records for e in record.io_events]
+    assert events == list(full.io_events)
+    rng = np.random.default_rng(0)
+    for record in records:
+        t_lo = record.phase_bounds[0][0] if record.phase_bounds else record.duration
+        t_hi = record.duration
+        if t_hi <= t_lo:
+            continue
+        # Strictly interior sample grid: endpoints may carry duplicated
+        # (harmless) points, interiors must interpolate identically.
+        grid = t_lo + (t_hi - t_lo) * np.sort(rng.uniform(0.001, 0.999, size=64))
+        for name, series in record.counters.items():
+            assert name in full.counters, name
+            assert np.array_equal(
+                series.values_at(grid), full.counters[name].values_at(grid)
+            ), name
+        for name, series in record.levels.items():
+            assert name in full.levels, name
+            assert np.array_equal(
+                series.values_at(grid), full.levels[name].values_at(grid)
+            ), name
+
+
+@pytest.mark.parametrize("machine_name", ["thinkie", "stampede"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("noisy", [False, True], ids=["silent", "noisy"])
+def test_stream_matches_full_run(machine_name, seed, noisy):
+    machine = get_machine(machine_name)
+    workload = random_workload(np.random.default_rng(seed), machine)
+    full = Engine(machine, noise_for(noisy, seed)).run(workload)
+
+    engine = Engine(machine, noise_for(noisy, seed))
+    stream = engine.open_stream(name=workload.name, base_rss=workload.base_rss)
+    records = [stream.feed(batch) for batch in split_phases(workload, 3)]
+
+    assert_stream_matches_full(records, full, machine)
+    totals = stream.totals()
+    full_totals = full.totals()
+    for name, value in totals.items():
+        assert value == full_totals.get(name, value), name
+
+
+def test_stream_accepts_packed_batches():
+    machine = get_machine("stampede")
+    workload = random_workload(np.random.default_rng(4), machine)
+    full = Engine(machine, NoiseModel.silent()).run(workload)
+    stream = Engine(machine, NoiseModel.silent()).open_stream(
+        name=workload.name, base_rss=workload.base_rss
+    )
+    records = [
+        stream.feed(pack_workload(batch)) for batch in split_phases(workload, 4)
+    ]
+    assert_stream_matches_full(records, full, machine)
+
+
+def test_run_stream_generator():
+    machine = get_machine("thinkie")
+    workload = random_workload(np.random.default_rng(6), machine)
+    batches = split_phases(workload, 2)
+    engine = Engine(machine, NoiseModel.silent())
+    records = list(
+        engine.run_stream(batches, name=workload.name, base_rss=workload.base_rss)
+    )
+    assert len(records) == len(batches)
+    for index, record in enumerate(records):
+        assert record.metadata["stream_batch"] == index
+    full = Engine(machine, NoiseModel.silent()).run(workload)
+    assert records[-1].duration == full.duration
+
+
+@pytest.mark.parametrize("noisy", [False, True], ids=["silent", "noisy"])
+def test_checkpoint_restore_is_bit_identical(noisy):
+    machine = get_machine("stampede")
+    workload = random_workload(np.random.default_rng(3), machine)
+    batches = split_phases(workload, 4)
+    cut = len(batches) // 2
+
+    uninterrupted = Engine(machine, noise_for(noisy, 17)).open_stream(
+        name=workload.name, base_rss=workload.base_rss
+    )
+    reference = [uninterrupted.feed(batch) for batch in batches]
+
+    stream = Engine(machine, noise_for(noisy, 17)).open_stream(
+        name=workload.name, base_rss=workload.base_rss
+    )
+    for batch in batches[:cut]:
+        stream.feed(batch)
+    # Full JSON round-trip: the checkpoint must survive serialisation.
+    state = json.loads(json.dumps(stream.checkpoint()))
+    resumed = EngineStream.restore(state)
+    assert resumed.engine.machine.name == machine.name
+    assert resumed.t == stream.t
+    assert resumed.batches_done == cut
+
+    tail = [resumed.feed(batch) for batch in batches[cut:]]
+    for got, ref in zip(tail, reference[cut:]):
+        assert_records_identical(got, ref)
+    assert resumed.totals() == uninterrupted.totals()
+
+
+def test_checkpoint_size_is_independent_of_demand_count():
+    machine = get_machine("thinkie")
+    stream = Engine(machine, NoiseModel.silent()).open_stream(name="bounded")
+    sizes = []
+    for seed in range(4):
+        batch = random_workload(np.random.default_rng(seed), machine)
+        stream.feed(batch)
+        sizes.append(len(json.dumps(stream.checkpoint())))
+    # O(distinct counter names): once every counter has appeared the
+    # size stays flat apart from float digit-count jitter, regardless of
+    # how many demands have streamed through.
+    assert abs(sizes[-1] - sizes[-2]) < 64
+    assert sizes[-1] < 8192
+
+
+def test_restore_rejects_unknown_version():
+    machine = get_machine("thinkie")
+    stream = Engine(machine, NoiseModel.silent()).open_stream(name="v")
+    state = stream.checkpoint()
+    state["version"] = 999
+    with pytest.raises(WorkloadError):
+        EngineStream.restore(state)
+
+
+def test_stream_totals_track_time_and_peak():
+    machine = get_machine("thinkie")
+    workload = random_workload(np.random.default_rng(9), machine)
+    stream = Engine(machine, NoiseModel.silent()).open_stream(
+        name=workload.name, base_rss=workload.base_rss
+    )
+    for batch in split_phases(workload, 2):
+        stream.feed(batch)
+    totals = stream.totals()
+    assert totals["time.runtime"] == stream.t
+    assert "mem.peak" in totals
