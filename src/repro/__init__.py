@@ -59,6 +59,7 @@ from repro.core import (
     error_percent,
     place,
     profile,
+    traffic,
     stats,
 )
 from repro.storage import FileStore, MemoryStore, MongoStore, open_store
@@ -91,4 +92,5 @@ __all__ = [
     "predict",
     "profile",
     "stats",
+    "traffic",
 ]

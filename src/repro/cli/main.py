@@ -268,6 +268,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the per-wave progress lines",
     )
 
+    p_traffic = add_parser(
+        "traffic", help="simulate serving traffic through a machine fleet"
+    )
+    p_traffic.add_argument(
+        "process", nargs="?", default="poisson:rate=100",
+        help="arrival process spec: poisson:rate=R | "
+             "mmpp:rates=R1/R2,dwells=D1/D2 | "
+             "diurnal:rate=R,amplitude=A,period=S | trace:<path> "
+             "(default: poisson:rate=100; ignored with --closed-loop)",
+    )
+    p_traffic.add_argument(
+        "--machines", nargs="+", required=True, help="fleet machine models"
+    )
+    p_traffic.add_argument(
+        "--requests", type=int, default=10000,
+        help="number of requests to simulate (default: 10000)",
+    )
+    p_traffic.add_argument(
+        "--discipline", choices=("fifo", "ps"), default="fifo",
+        help="per-machine queue discipline (default: fifo)",
+    )
+    p_traffic.add_argument(
+        "--dispatch", choices=("eft", "rr"), default="eft",
+        help="request dispatch policy (default: eft = earliest finish)",
+    )
+    p_traffic.add_argument(
+        "--alloc-cost", type=float, default=0.0, metavar="SECONDS",
+        help="fixed machine allocation cost added to each request",
+    )
+    p_traffic.add_argument(
+        "--closed-loop", type=int, default=None, metavar="CLIENTS",
+        help="closed-loop mode: CLIENTS issue-wait-think loops instead of "
+             "the open-loop arrival process",
+    )
+    p_traffic.add_argument(
+        "--think", type=float, default=0.1, metavar="SECONDS",
+        help="mean exponential think time in closed-loop mode (default 0.1)",
+    )
+    p_traffic.add_argument(
+        "--slo-p99", type=float, default=None, metavar="SECONDS",
+        help="enable in-sim autoscaling against this p99 latency SLO",
+    )
+    p_traffic.add_argument(
+        "--max-machines", type=int, default=None,
+        help="autoscaling ceiling (default: 2x the base fleet)",
+    )
+    p_traffic.add_argument(
+        "--scale-every", type=int, default=5000, metavar="REQUESTS",
+        help="requests between autoscale evaluations (default: 5000)",
+    )
+    p_traffic.add_argument(
+        "--chunk", type=int, default=8192,
+        help="arrival batch size streamed per step (default: 8192)",
+    )
+    p_traffic.add_argument(
+        "--seed", type=int, default=0, help="trace seed (default: 0)"
+    )
+    p_traffic.add_argument(
+        "--no-engine", action="store_true",
+        help="skip engine-ledger accounting (queue/latency model only)",
+    )
+    p_traffic.add_argument(
+        "--json", default=None, help="write the full report JSON here"
+    )
+
     add_parser("machines", help="list simulated machine models")
     add_parser("metrics", help="print the Table 1 metric inventory")
     add_parser("kernels", help="list available compute kernels")
@@ -649,6 +714,46 @@ def _cmd_place(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_traffic(args: argparse.Namespace, out) -> int:
+    from repro.core.api import traffic as api_traffic  # noqa: PLC0415 (lazy)
+
+    autoscale = None
+    if args.slo_p99 is not None:
+        from repro.traffic.sim import AutoscalePolicy  # noqa: PLC0415 (lazy)
+
+        max_machines = (
+            args.max_machines
+            if args.max_machines is not None
+            else 2 * len(args.machines)
+        )
+        autoscale = AutoscalePolicy(
+            slo_p99=args.slo_p99,
+            max_machines=max_machines,
+            every=args.scale_every,
+        )
+    report = api_traffic(
+        args.process,
+        args.machines,
+        requests=args.requests,
+        discipline=args.discipline,
+        dispatch=args.dispatch,
+        alloc_cost=args.alloc_cost,
+        engine=not args.no_engine,
+        autoscale=autoscale,
+        closed_loop=args.closed_loop,
+        think=args.think,
+        chunk=args.chunk,
+        seed=args.seed,
+    )
+    print(report.table(), file=out)
+    if args.json:
+        import json  # noqa: PLC0415 (lazy)
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+    return 0
+
+
 def _cmd_machines(args: argparse.Namespace, out) -> int:
     table = Table(["name", "cores", "clock", "memory", "filesystems", "description"])
     for name in sorted(list_machines()):
@@ -700,6 +805,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "place": _cmd_place,
     "campaign": _cmd_campaign,
+    "traffic": _cmd_traffic,
     "machines": _cmd_machines,
     "metrics": _cmd_metrics,
     "kernels": _cmd_kernels,

@@ -1,6 +1,6 @@
 """Core library: profile/emulate API, data model, profiler, emulator."""
 
-from repro.core.api import emulate, place, predict, profile, stats
+from repro.core.api import emulate, place, predict, profile, stats, traffic
 from repro.core.backend import ExecutionBackend, ProcessHandle
 from repro.core.compare import ComparisonRow, ProfileComparison
 from repro.core.config import SynapseConfig
@@ -63,6 +63,7 @@ __all__ = [
     "emulate",
     "error_percent",
     "place",
+    "traffic",
     "predict",
     "profile",
     "stats",

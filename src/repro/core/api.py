@@ -48,6 +48,7 @@ __all__ = [
     "place",
     "campaign",
     "campaign_report",
+    "traffic",
     "default_backend_for",
 ]
 
@@ -252,6 +253,66 @@ def campaign_report(
     return analyze_campaign(
         _resolve_campaign_spec(spec), store, reference=reference
     )
+
+
+def traffic(
+    process: Any,
+    machines: Any,
+    *,
+    requests: int,
+    mix: Any = None,
+    discipline: str = "fifo",
+    dispatch: str = "eft",
+    alloc_cost: float = 0.0,
+    engine: bool = True,
+    autoscale: Any = None,
+    closed_loop: int | None = None,
+    think: float = 0.1,
+    chunk: int = 8192,
+    seed: int = 0,
+    keep_records: bool = False,
+):
+    """Simulate serving traffic through a queue-aware machine fleet.
+
+    ``process`` is an :class:`~repro.traffic.arrivals.ArrivalProcess` or
+    a spec string (``"poisson:rate=500"``, ``"mmpp:rates=50/500"``,
+    ``"diurnal:rate=200,amplitude=0.8"``, ``"trace:<path>"``); it drives
+    an **open-loop** run unless ``closed_loop=N`` switches to a closed
+    loop of ``N`` clients with exponential ``think`` time (the arrival
+    process is then unused — arrivals come from request completions).
+    ``autoscale`` is an :class:`~repro.traffic.sim.AutoscalePolicy` to
+    scale the fleet against a p99 SLO in-sim.  Returns the
+    :class:`~repro.traffic.sim.TrafficReport` (render with
+    ``.table()``/``.to_dict()``).
+    """
+    from repro.traffic.sim import ClosedLoopSim, TrafficSim  # noqa: PLC0415 (lazy)
+
+    if closed_loop is not None:
+        sim = ClosedLoopSim(
+            machines,
+            mix,
+            clients=closed_loop,
+            think=think,
+            dispatch=dispatch,
+            alloc_cost=alloc_cost,
+            engine=engine,
+            keep_records=keep_records,
+            seed=seed,
+        )
+        return sim.run(requests)
+    sim = TrafficSim(
+        process,
+        machines,
+        mix,
+        discipline=discipline,
+        dispatch=dispatch,
+        alloc_cost=alloc_cost,
+        engine=engine,
+        autoscale=autoscale,
+        keep_records=keep_records,
+        seed=seed,
+    )
+    return sim.run(requests, chunk=chunk)
 
 
 def place(

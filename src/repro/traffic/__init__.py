@@ -1,0 +1,66 @@
+"""Traffic plane: arrival processes, load drivers, queue-aware fleets.
+
+The serving-workload counterpart to the batch campaign plane (see the
+placement companion paper, arXiv:1506.00272): seeded arrival-process
+generators (:mod:`~repro.traffic.arrivals`), request mixes synthesised
+into packed engine demands (:mod:`~repro.traffic.workload`), per-machine
+FIFO/processor-sharing queues with EFT dispatch and engine-ledger
+accounting (:mod:`~repro.traffic.fleet`, :mod:`~repro.traffic.queueing`),
+and open/closed-loop drivers with in-sim autoscaling and bit-exact
+checkpoint/restore (:mod:`~repro.traffic.sim`).
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    DiurnalProcess,
+    MMPPProcess,
+    PoissonProcess,
+    TraceReplay,
+    make_process,
+    restore_process,
+)
+from repro.traffic.fleet import Fleet, LatencyHistogram, LatencyRecorder
+from repro.traffic.queueing import (
+    BlockDigest,
+    FifoQueue,
+    PSQueue,
+    max_concurrent,
+    time_average_in_system,
+)
+from repro.traffic.sim import AutoscalePolicy, ClosedLoopSim, TrafficReport, TrafficSim
+from repro.traffic.workload import (
+    RequestClass,
+    RequestMix,
+    batch_for_class,
+    default_mix,
+    restore_mix,
+    unit_seconds,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "MMPPProcess",
+    "DiurnalProcess",
+    "TraceReplay",
+    "make_process",
+    "restore_process",
+    "RequestClass",
+    "RequestMix",
+    "batch_for_class",
+    "default_mix",
+    "restore_mix",
+    "unit_seconds",
+    "BlockDigest",
+    "FifoQueue",
+    "PSQueue",
+    "time_average_in_system",
+    "max_concurrent",
+    "Fleet",
+    "LatencyHistogram",
+    "LatencyRecorder",
+    "AutoscalePolicy",
+    "ClosedLoopSim",
+    "TrafficReport",
+    "TrafficSim",
+]

@@ -1,0 +1,251 @@
+"""Queueing primitives for the fleet model.
+
+Two single-server disciplines, both written as strictly sequential folds
+over arrivals so that results are bit-identical under any chunking of
+the arrival stream (the same left-associated-fold argument that makes
+``EngineStream`` chunk-invariant):
+
+* :class:`FifoQueue` — first-in-first-out: request *i* starts at
+  ``max(arrival_i, finish_{i-1})``; finish time is known at dispatch.
+* :class:`PSQueue` — egalitarian processor sharing: all resident jobs
+  progress at rate ``1/n``; simulated exactly event-by-event (advance to
+  each arrival, completing jobs whose remaining work runs out), so
+  completion order can differ from arrival order.
+
+:class:`BlockDigest` is the latency-stream fingerprint: a blake2b chain
+over fixed 64 KiB blocks of the record byte stream.  Chaining over
+*content-defined* (fixed-size) blocks rather than per-``update`` calls
+makes the digest a pure function of the concatenated bytes — invariant
+to chunking — while keeping the in-flight state (previous chain value +
+the pending partial block) small and JSON-serialisable for checkpoints,
+which a raw ``hashlib`` object's opaque internal state is not.
+
+:func:`time_average_in_system` and :func:`max_concurrent` post-process
+(arrival, finish) records for the Little's-law and closed-loop-bound
+property tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BlockDigest",
+    "FifoQueue",
+    "PSQueue",
+    "time_average_in_system",
+    "max_concurrent",
+]
+
+
+class BlockDigest:
+    """Chunking-invariant, checkpointable digest of a byte stream."""
+
+    BLOCK = 64 << 10
+    _SIZE = 16
+
+    def __init__(self) -> None:
+        self._chain = b"\x00" * self._SIZE
+        self._partial = bytearray()
+
+    def update(self, data: bytes) -> None:
+        self._partial.extend(data)
+        block = self.BLOCK
+        while len(self._partial) >= block:
+            self._chain = hashlib.blake2b(
+                self._chain + bytes(self._partial[:block]), digest_size=self._SIZE
+            ).digest()
+            del self._partial[:block]
+
+    def hexdigest(self) -> str:
+        """Digest of everything seen so far (does not mutate state)."""
+        return hashlib.blake2b(
+            self._chain + bytes(self._partial), digest_size=self._SIZE
+        ).hexdigest()
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"chain": self._chain.hex(), "partial": bytes(self._partial).hex()}
+
+    @classmethod
+    def restore(cls, state: Dict[str, Any]) -> "BlockDigest":
+        digest = cls()
+        digest._chain = bytes.fromhex(state["chain"])
+        digest._partial = bytearray(bytes.fromhex(state["partial"]))
+        return digest
+
+
+class FifoQueue:
+    """Single FIFO server: a (free-time, busy-seconds) fold carry."""
+
+    __slots__ = ("free_t", "busy", "served")
+
+    def __init__(self) -> None:
+        self.free_t = 0.0
+        self.busy = 0.0
+        self.served = 0
+
+    def offer(self, t: float, service: float) -> Tuple[float, float]:
+        """Admit one request; returns (start, finish)."""
+        start = t if t > self.free_t else self.free_t
+        finish = start + service
+        self.free_t = finish
+        self.busy += service
+        self.served += 1
+        return start, finish
+
+    def backlog(self, t: float) -> float:
+        """Unfinished work (seconds) queued ahead of time ``t``."""
+        remaining = self.free_t - t
+        return remaining if remaining > 0.0 else 0.0
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"free_t": self.free_t, "busy": self.busy, "served": self.served}
+
+    @classmethod
+    def restore(cls, state: Dict[str, Any]) -> "FifoQueue":
+        queue = cls()
+        queue.free_t = float(state["free_t"])
+        queue.busy = float(state["busy"])
+        queue.served = int(state["served"])
+        return queue
+
+
+class PSQueue:
+    """Single processor-sharing server, simulated exactly.
+
+    ``offer`` advances the server clock to the arrival time (emitting
+    any completions that happened in between), then admits the job.
+    ``drain`` runs the clock forward until the server empties.  The
+    whole evolution is a sequential fold over arrival events only, so it
+    is independent of how the caller batches arrivals.
+    """
+
+    __slots__ = ("clock", "busy", "served", "_remaining", "_ids")
+
+    def __init__(self) -> None:
+        self.clock = 0.0
+        self.busy = 0.0
+        self.served = 0
+        self._remaining: List[float] = []
+        self._ids: List[int] = []
+
+    def _advance(self, t: float, out: List[Tuple[int, float]]) -> None:
+        while self._remaining and self.clock < t:
+            n = len(self._remaining)
+            least = min(self._remaining)
+            horizon = least * n  # wall time until the next completion
+            if self.clock + horizon <= t:
+                self.clock += horizon
+                self.busy += horizon
+                keep_r: List[float] = []
+                keep_i: List[int] = []
+                for remaining, job in zip(self._remaining, self._ids):
+                    left = remaining - least
+                    if left <= 1e-15 * least:
+                        out.append((job, self.clock))
+                        self.served += 1
+                    else:
+                        keep_r.append(left)
+                        keep_i.append(job)
+                self._remaining = keep_r
+                self._ids = keep_i
+            else:
+                dt = t - self.clock
+                share = dt / n
+                self._remaining = [r - share for r in self._remaining]
+                self.busy += dt
+                self.clock = t
+                return
+        if self.clock < t:
+            self.clock = t
+
+    def offer(self, t: float, work: float, job: int) -> List[Tuple[int, float]]:
+        """Admit one job at time ``t``; returns completions up to ``t``."""
+        out: List[Tuple[int, float]] = []
+        self._advance(t, out)
+        self._remaining.append(work)
+        self._ids.append(job)
+        return out
+
+    def advance_to(self, t: float) -> List[Tuple[int, float]]:
+        """Run the clock to ``t``; returns (job, finish) completions."""
+        out: List[Tuple[int, float]] = []
+        self._advance(t, out)
+        return out
+
+    def work_left(self) -> float:
+        """Unfinished work (seconds) resident in the server."""
+        return float(sum(self._remaining))
+
+    def drain(self) -> List[Tuple[int, float]]:
+        """Run until empty; returns the remaining (job, finish) pairs."""
+        out: List[Tuple[int, float]] = []
+        self._advance(float("inf"), out)
+        return out
+
+    def depth(self) -> int:
+        return len(self._remaining)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "clock": self.clock,
+            "busy": self.busy,
+            "served": self.served,
+            "remaining": list(self._remaining),
+            "ids": list(self._ids),
+        }
+
+    @classmethod
+    def restore(cls, state: Dict[str, Any]) -> "PSQueue":
+        queue = cls()
+        queue.clock = float(state["clock"])
+        queue.busy = float(state["busy"])
+        queue.served = int(state["served"])
+        queue._remaining = [float(x) for x in state["remaining"]]
+        queue._ids = [int(x) for x in state["ids"]]
+        return queue
+
+
+def _events(arrivals: np.ndarray, finishes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    times = np.concatenate([arrivals, finishes])
+    deltas = np.concatenate(
+        [np.ones(len(arrivals)), -np.ones(len(finishes))]
+    )
+    # Finishes sort before arrivals at equal times (a request that
+    # completes the instant another arrives has left the system):
+    # ascending secondary key puts delta=-1 first.
+    order = np.lexsort((deltas, times))
+    return times[order], deltas[order]
+
+
+def time_average_in_system(arrivals: np.ndarray, finishes: np.ndarray) -> float:
+    """Time-averaged number of requests in system over the busy horizon.
+
+    By Little's law this equals ``lambda * W`` (arrival rate times mean
+    sojourn) exactly when the horizon covers all records — the identity
+    the queue-model invariant test pins.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    finishes = np.asarray(finishes, dtype=np.float64)
+    if arrivals.size == 0:
+        return 0.0
+    times, deltas = _events(arrivals, finishes)
+    horizon = times[-1] - times[0]
+    if horizon <= 0:
+        return 0.0
+    counts = np.cumsum(deltas)[:-1]
+    widths = np.diff(times)
+    return float(np.dot(counts, widths) / horizon)
+
+
+def max_concurrent(arrivals: np.ndarray, finishes: np.ndarray) -> int:
+    """Peak number of requests simultaneously in system."""
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    finishes = np.asarray(finishes, dtype=np.float64)
+    if arrivals.size == 0:
+        return 0
+    _, deltas = _events(arrivals, finishes)
+    return int(np.cumsum(deltas).max())

@@ -1,0 +1,65 @@
+"""Shared fixtures and statistical tolerances for the traffic suite.
+
+Stochastic assertions here are *seeded* — every test draws from a fixed
+RNG stream, so failures are deterministic, never flaky.  Tolerances
+still scale with sample size through :func:`assert_stat_close`: the
+standard error of a mean-like statistic shrinks as 1/sqrt(n), so the
+allowed relative deviation is ``tol`` at the reference size of 10,000
+samples and widens/narrows as sqrt(10_000 / n) for smaller/larger runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.traffic.arrivals import DiurnalProcess, MMPPProcess, PoissonProcess
+from repro.traffic.workload import default_mix
+
+#: Sample count at which ``tol`` applies exactly.
+REFERENCE_N = 10_000
+
+
+def assert_stat_close(
+    observed: float, expected: float, tol: float, n: int, label: str = "statistic"
+) -> None:
+    """Assert a sampled statistic matches its analytic value.
+
+    ``tol`` is the allowed relative deviation at ``REFERENCE_N``
+    samples; the bound scales as sqrt(REFERENCE_N / n) so the same
+    nominal tolerance works for quick and long runs.  An absolute floor
+    of ``tol / 10`` guards expected values near zero.
+    """
+    if n <= 0:
+        raise ValueError("sample size must be positive")
+    allowed = abs(expected) * tol * math.sqrt(REFERENCE_N / n) + tol / 10.0
+    deviation = abs(observed - expected)
+    assert deviation <= allowed, (
+        f"{label}: observed {observed:.6g} vs expected {expected:.6g} "
+        f"(deviation {deviation:.3g} > allowed {allowed:.3g} at n={n})"
+    )
+
+
+@pytest.fixture
+def poisson_process() -> PoissonProcess:
+    """A seeded 100 req/s Poisson stream."""
+    return PoissonProcess(rate=100.0, seed=1234)
+
+
+@pytest.fixture
+def mmpp_process() -> MMPPProcess:
+    """A seeded calm/bursty MMPP stream (20 vs 400 req/s)."""
+    return MMPPProcess(rates=(20.0, 400.0), dwells=(8.0, 2.0), seed=99)
+
+
+@pytest.fixture
+def diurnal_process() -> DiurnalProcess:
+    """A seeded day/night stream: 100 req/s mean, 80% swing, 24 h period."""
+    return DiurnalProcess(rate=100.0, amplitude=0.8, period=86400.0, seed=7)
+
+
+@pytest.fixture
+def mix():
+    """The default three-class request mix, seeded."""
+    return default_mix(seed=42)
