@@ -249,6 +249,28 @@ def build_parser() -> argparse.ArgumentParser:
              "is presumed dead (sharded runs; default 900)",
     )
     p_campaign.add_argument(
+        "--elastic", action="store_true",
+        help="lease-based elastic execution: workers pull pending cells in "
+             "leased batches from the shared store and steal leases from "
+             "crashed, hung or drained members (replaces static --shard "
+             "partitions; any number of invocations may share one store)",
+    )
+    p_campaign.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="with --elastic: spawn a local fleet of N elastic worker "
+             "processes (default: one in-process worker)",
+    )
+    p_campaign.add_argument(
+        "--join", default=None, metavar="NAME",
+        help="with --elastic: attach one extra worker named NAME to a "
+             "campaign already running elsewhere (another host, a fleet)",
+    )
+    p_campaign.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="with --elastic: a member silent this long is presumed dead "
+             "and its leased cells are stolen (default 60)",
+    )
+    p_campaign.add_argument(
         "--report", action="store_true",
         help="do not execute; aggregate the ledger into the paper-style "
              "consistency/error report (execution flags are rejected; "
@@ -469,6 +491,9 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
             name for name, value in (
                 ("--shard", args.shard), ("--claim-ttl", args.claim_ttl),
                 ("--limit", args.limit), ("--processes", args.processes),
+                ("--elastic", args.elastic or None),
+                ("--workers", args.workers), ("--join", args.join),
+                ("--lease-ttl", args.lease_ttl),
             )
             if value is not None
         ]
@@ -483,12 +508,45 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
         if args.format != "table" or args.reference is not None:
             print("error: --format/--reference require --report", file=sys.stderr)
             return 2
-        if args.claim_ttl is not None and args.shard is None:
-            print(
-                "error: --claim-ttl requires --shard (claims only run sharded)",
-                file=sys.stderr,
-            )
-            return 2
+        if not args.elastic:
+            if args.workers is not None or args.join is not None \
+                    or args.lease_ttl is not None:
+                print(
+                    "error: --workers/--join/--lease-ttl require --elastic",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.claim_ttl is not None and args.shard is None:
+                print(
+                    "error: --claim-ttl requires --shard (claims only run "
+                    "sharded)",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            if args.shard is not None or args.claim_ttl is not None:
+                print(
+                    "error: --elastic replaces static partitioning; drop "
+                    "--shard/--claim-ttl (leases supersede claims)",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.workers is not None and args.join is not None:
+                print(
+                    "error: --workers spawns a local fleet, --join attaches "
+                    "one worker; pick one",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.workers is not None and (
+                args.processes is not None or args.limit is not None
+            ):
+                print(
+                    "error: a --workers fleet runs each worker serially; "
+                    "drop --processes/--limit",
+                    file=sys.stderr,
+                )
+                return 2
     spec = CampaignSpec.from_json(args.spec)
     store = open_store(args.store)
     if args.report:
@@ -553,17 +611,63 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
         # worker thread): run without signal-based draining.
         previous_handlers = {}
     try:
-        report = run_campaign(
-            spec, store,
-            processes=args.processes,
-            limit=args.limit,
-            shard=args.shard,
-            claim_ttl=(
-                args.claim_ttl if args.claim_ttl is not None else DEFAULT_CLAIM_TTL
-            ),
-            progress=None if args.quiet else progress,
-            stop=lambda: stop_flag["stop"],
-        )
+        if args.elastic:
+            from repro.runtime.coordinator import (  # noqa: PLC0415 (lazy)
+                DEFAULT_LEASE_TTL,
+                elastic_worker,
+                run_elastic,
+            )
+
+            lease_ttl = (
+                args.lease_ttl if args.lease_ttl is not None
+                else DEFAULT_LEASE_TTL
+            )
+
+            def elastic_progress(summary: dict) -> None:
+                print(
+                    f"wave {summary['wave']}: "
+                    f"{summary['executed']} executed"
+                    + (f", {summary['failed']} failed"
+                       if summary["failed"] else "")
+                    + (f", {summary['stolen']} stolen"
+                       if summary["stolen"] else "")
+                    + f", completed {summary['completed']}/{summary['total']}"
+                    f", {summary['elapsed']:.1f}s elapsed",
+                    file=out,
+                )
+                if hasattr(out, "flush"):
+                    out.flush()
+
+            if args.workers is not None:
+                report = run_elastic(
+                    spec, args.store,
+                    workers=args.workers,
+                    lease_ttl=lease_ttl,
+                    stop=lambda: stop_flag["stop"],
+                )
+            else:
+                report = elastic_worker(
+                    spec, store,
+                    worker=args.join,
+                    lease_ttl=lease_ttl,
+                    processes=args.processes,
+                    limit=args.limit,
+                    progress=None if args.quiet else elastic_progress,
+                    stop=lambda: stop_flag["stop"],
+                )
+        else:
+            report = run_campaign(
+                spec, store,
+                processes=args.processes,
+                limit=args.limit,
+                shard=args.shard,
+                claim_ttl=(
+                    args.claim_ttl if args.claim_ttl is not None
+                    else DEFAULT_CLAIM_TTL
+                ),
+                progress=None if args.quiet else progress,
+                stop=lambda: stop_flag["stop"],
+            )
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)

@@ -31,6 +31,7 @@ __all__ = [
     "BackendError",
     "CalibrationError",
     "StoreError",
+    "CorruptArtifactError",
     "DocumentTooLargeError",
     "ProfileNotFoundError",
     "EmulationError",
@@ -78,6 +79,20 @@ class DocumentTooLargeError(StoreError):
 
 class ProfileNotFoundError(StoreError):
     """No stored profile matches the requested command/tag combination."""
+
+
+class CorruptArtifactError(StoreError):
+    """A stored payload failed its integrity check (checksum mismatch).
+
+    Raised by the file store when a profile file's bytes no longer hash
+    to the blake2b digest its sidecar journal recorded at ``put`` time —
+    bit rot, a torn overwrite, or tampering.  Deliberately **fatal**
+    (``retryable = False``): re-reading corrupt bytes returns the same
+    corrupt bytes, so retry loops must surface the damage immediately
+    instead of burning their budget on it.
+    """
+
+    retryable = False
 
 
 class ProfilingError(SynapseError):

@@ -29,6 +29,7 @@ emulated runs scale with cores only across processes.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.core import metrics as _metrics
@@ -53,19 +54,21 @@ class ParallelFallbackWarning(RuntimeWarning):
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
-#: Per-process payload installed by :func:`parallel_map`'s ``shared``
-#: argument (one pickle per worker instead of one per item).
-_shared_payload: Any = None
+#: Per-thread payload installed by :func:`parallel_map`'s ``shared``
+#: argument (one pickle per worker instead of one per item).  Thread-
+#: local rather than a plain global: concurrent serial batches in one
+#: process — e.g. several elastic campaign workers sharing a store —
+#: each install/restore their own tables without clobbering each other.
+_shared_state = threading.local()
 
 
 def _install_shared(payload: Any) -> None:
-    global _shared_payload
-    _shared_payload = payload
+    _shared_state.payload = payload
 
 
 def get_shared() -> Any:
     """The current :func:`parallel_map` ``shared`` payload (worker side)."""
-    return _shared_payload
+    return getattr(_shared_state, "payload", None)
 
 
 def parallel_map(
@@ -107,7 +110,7 @@ def parallel_map(
 def _serial_map(fn: Callable[[_T], _R], items: list[_T], shared: Any) -> list[_R]:
     if shared is None:
         return [fn(item) for item in items]
-    previous = _shared_payload
+    previous = get_shared()
     _install_shared(shared)
     try:
         return [fn(item) for item in items]

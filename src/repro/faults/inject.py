@@ -28,6 +28,14 @@ Point inventory (grep for ``inject(`` to verify):
                           context key is the request key (cell digest)
 ``campaign.claim``        the claim protocol's marker read-back
 ``campaign.gc``           stale-claim garbage collection
+``coordinator.heartbeat`` every elastic-worker heartbeat beat; the context
+                          key is the worker name (``crash`` kills the
+                          worker mid-wave, ``error`` drops the beat)
+``coordinator.lease.renew``  every held-lease renewal; the context key is
+                          the worker name (``error`` ages the lease into
+                          stealability while the owner keeps working)
+``coordinator.steal``     every lease-steal attempt; the context key is
+                          the cell digest (``error`` defers the takeover)
 ========================  ====================================================
 
 Hit counters are per process: a pool worker forked from the parent

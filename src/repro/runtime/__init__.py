@@ -25,6 +25,11 @@ subsystem:
   ``run_campaign(spec, store, shard=(i, n))`` partitions the pending
   cells by digest so several hosts sharing one store split a sweep,
   with claim markers serialising overlapping invocations;
+* :mod:`repro.runtime.coordinator` — the elastic alternative to static
+  shards: workers register TTL-leased membership, pull pending cells in
+  leased batches and steal expired leases from crashed/hung/drained
+  rivals, so fleets grow, shrink and fail mid-sweep while the ledger
+  still converges (``elastic_worker`` / ``run_elastic``);
 * :mod:`repro.runtime.analyze` — aggregates a finished ledger into the
   paper's consistency/error tables (``repro campaign --report``).
 """
@@ -46,6 +51,17 @@ from repro.runtime.campaign import (
     shard_cells,
     shard_index,
 )
+from repro.runtime.coordinator import (
+    DEFAULT_LEASE_TTL,
+    LEASE_COMMAND,
+    MEMBER_COMMAND,
+    LeaseRecord,
+    elastic_worker,
+    lease_records,
+    live_members,
+    resolve_lease,
+    run_elastic,
+)
 from repro.runtime.service import (
     ParallelFallbackWarning,
     PoisonRequestError,
@@ -59,10 +75,14 @@ from repro.runtime.service import (
 )
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
+    "LEASE_COMMAND",
+    "MEMBER_COMMAND",
     "CampaignAnalysis",
     "CampaignCell",
     "CampaignReport",
     "CampaignSpec",
+    "LeaseRecord",
     "ParallelFallbackWarning",
     "PoisonRequestError",
     "RunPolicy",
@@ -74,12 +94,17 @@ __all__ = [
     "claims",
     "comparable_artifact",
     "completed_cells",
+    "elastic_worker",
     "get_service",
+    "lease_records",
     "ledger",
     "ledger_digest",
+    "live_members",
     "parse_shard",
     "reset_service",
+    "resolve_lease",
     "run_campaign",
+    "run_elastic",
     "shard_cells",
     "shard_index",
 ]

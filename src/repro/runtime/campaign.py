@@ -595,6 +595,15 @@ def _gc_stale_claims(store: Any, name: str, ttl: float, now: float) -> None:
     every claim scan re-parses them).  Only markers already ignored as
     stale are touched, so this can never steal a live rival's claim.
     """
+    expire = getattr(store, "expire_markers", None)
+    if expire is not None:
+        # Server-side TTL expiry (Mongo-like stores): the store sweeps
+        # its own stale markers; the scan below then only mops up
+        # whatever raced past the sweep.
+        try:
+            expire(CLAIM_COMMAND, ttl)
+        except Exception:  # noqa: BLE001 - GC must never fail a wave
+            pass
     if getattr(store, "delete", None) is None:
         return
     try:

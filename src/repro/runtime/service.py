@@ -54,6 +54,7 @@ __all__ = [
     "RunResult",
     "RunService",
     "RunTimeoutError",
+    "batch_budget",
     "get_service",
     "reset_service",
 ]
@@ -1103,6 +1104,29 @@ def _pack(
         lite = replace(request, target=None, machine=None)
         items.append((lite, target_slot, machine_slot))
     return targets, machines, items
+
+
+def batch_budget(requests: Sequence[RunRequest]) -> float | None:
+    """Upper wall-clock bound for executing a batch of requests.
+
+    The worst case is fully serial execution (the pool may degrade to
+    the in-parent path), so the bound is the *sum* of every request's
+    :attr:`RunPolicy.budget`.  ``None`` — unbounded — as soon as any
+    request lacks a timeout, because that request alone can hang the
+    batch forever.
+
+    This is the elastic coordinator's deadline plumbing: a worker's
+    lease-renewal thread stops renewing a wave's leases once the wave
+    has provably overrun this bound, so a worker hung past every
+    enforcement tier loses its leases and survivors steal the cells.
+    """
+    total = 0.0
+    for request in requests:
+        budget = request.policy.budget if request.policy is not None else None
+        if budget is None:
+            return None
+        total += budget
+    return total
 
 
 _default_service: RunService | None = None

@@ -23,11 +23,18 @@ Each group carries an append-only journal with one JSON line per stored
 profile::
 
     {"id": "<key-hash>/<file>.json", "command": ..., "tags": [...],
-     "created": ...}
+     "created": ..., "sum": "<blake2b-128 of the payload bytes>"}
 
 ``put``/``put_many`` append a line after writing the profile file, so
 queries answer "which profiles match this command/tag filter" from the
 index alone — no profile payload is opened until a match is confirmed.
+The ``sum`` field is the integrity record: the first payload read of a
+profile (cache misses only — the decoded-payload LRU never re-verifies)
+re-hashes the file bytes against it and raises
+:class:`~repro.core.errors.CorruptArtifactError` on mismatch (bit rot,
+a torn overwrite, tampering), emitting a ``store.corrupt`` event.
+Journal lines written before this field existed verify-on-first-read
+instead: the computed digest is adopted and checked thereafter.
 The journal is advisory, never authoritative: the ``*.json`` files in
 the group directory are the truth, and every index load re-lists the
 directory (names only, via ``scandir``) and reconciles:
@@ -61,12 +68,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
-from repro.core.errors import ConfigError, StoreError
+from repro.core.errors import ConfigError, CorruptArtifactError, StoreError
 from repro.core.samples import Profile
 from repro.core.tags import normalize_command, normalize_tags
 from repro.faults import inject
 from repro.storage.base import ProfileStore, StoreEntry
 from repro.storage.query import compile_query
+from repro.telemetry.events import get_bus
 from repro.telemetry.metrics import get_registry, timed
 
 __all__ = ["FileStore", "INDEX_NAME", "PAYLOAD_CACHE_SIZE"]
@@ -83,6 +91,11 @@ PAYLOAD_CACHE_SIZE = 512
 def _key_hash(command: str, tags: tuple[str, ...]) -> str:
     payload = json.dumps([command, list(tags)]).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _payload_sum(data: bytes) -> str:
+    """Integrity digest of one profile file's exact bytes."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
 
 
 @dataclass
@@ -140,6 +153,11 @@ class FileStore(ProfileStore):
         self._payloads: OrderedDict[str, tuple[tuple[int, int], dict[str, Any]]] = (
             OrderedDict()
         )
+        #: pid -> expected payload digest (own writes + journal loads).
+        self._sums: dict[str, str] = {}
+        #: Groups whose journal is mid-load: heal-path payload reads must
+        #: not re-enter ``_group_index`` for them (see ``_cached_doc``).
+        self._loading: set[str] = set()
 
     def _fsync_dir(self, path: Path) -> None:
         """Flush a directory entry (rename/create) to stable storage."""
@@ -194,14 +212,15 @@ class FileStore(ProfileStore):
         name = f"{int(profile.created * 1e9):020d}-{self._writer}-{self._seq:06d}.json"
         path = group / name
         tmp = path.with_suffix(".tmp")
+        data = json.dumps(profile.to_dict()).encode("utf-8")
         # One retry after re-creating the group: a reader's empty-group
         # GC (see _load_group_index) may rmdir the directory between our
         # mkdir and this first write.
         inject("store.put", key=profile.command)
         for attempt in (0, 1):
             try:
-                with open(tmp, "w", encoding="utf-8") as handle:
-                    json.dump(profile.to_dict(), handle)
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
                     if self.durability == "fsync":
                         handle.flush()
                         os.fsync(handle.fileno())
@@ -214,16 +233,25 @@ class FileStore(ProfileStore):
                     group.mkdir(parents=True, exist_ok=True)
                     continue
                 raise StoreError(f"cannot write profile to {path}: {exc}") from exc
-        return str(path.relative_to(self.root))
+        pid = str(path.relative_to(self.root))
+        self._sums[pid] = _payload_sum(data)
+        return pid
 
     @staticmethod
     def _journal_line(
-        pid: str, command: str, tags: tuple[str, ...], created: float
+        pid: str,
+        command: str,
+        tags: tuple[str, ...],
+        created: float,
+        digest: str | None = None,
     ) -> str:
         """One sidecar index record (see the module docstring's layout)."""
-        return json.dumps(
-            {"id": pid, "command": command, "tags": list(tags), "created": created}
-        ) + "\n"
+        row: dict[str, Any] = {
+            "id": pid, "command": command, "tags": list(tags), "created": created,
+        }
+        if digest is not None:
+            row["sum"] = digest
+        return json.dumps(row) + "\n"
 
     def _journal_append(self, group: Path, items: list[tuple[str, Profile]]) -> None:
         """Append index lines for freshly written profiles (best-effort).
@@ -233,7 +261,10 @@ class FileStore(ProfileStore):
         ``put``.
         """
         lines = "".join(
-            self._journal_line(pid, profile.command, profile.tags, profile.created)
+            self._journal_line(
+                pid, profile.command, profile.tags, profile.created,
+                digest=self._sums.get(pid),
+            )
             for pid, profile in items
         )
         try:
@@ -266,6 +297,7 @@ class FileStore(ProfileStore):
             raise StoreError(f"no stored profile {pid!r}") from exc
         self._groups.pop(path.parent.name, None)
         self._payloads.pop(pid, None)
+        self._sums.pop(pid, None)
 
     # -- index plane ----------------------------------------------------------
 
@@ -300,7 +332,11 @@ class FileStore(ProfileStore):
                 get_registry().inc("store.index.hit")
                 return cached
         get_registry().inc("store.index.miss")
-        index = self._load_group_index(group, names)
+        self._loading.add(gname)
+        try:
+            index = self._load_group_index(group, names)
+        finally:
+            self._loading.discard(gname)
         if index is not None:
             self._groups[gname] = index
         else:
@@ -311,7 +347,7 @@ class FileStore(ProfileStore):
         self, group: Path, names: list[str]
     ) -> _GroupIndex | None:
         """Parse + reconcile one group's journal against its live files."""
-        known: dict[str, tuple[str, tuple[str, ...], float]] = {}
+        known: dict[str, tuple[str, tuple[str, ...], float, str | None]] = {}
         dirty = False  # corrupt lines or stale entries -> compact
         try:
             with open(group / INDEX_NAME, encoding="utf-8") as handle:
@@ -322,10 +358,12 @@ class FileStore(ProfileStore):
                     try:
                         row = json.loads(line)
                         name = str(row["id"]).rpartition("/")[2]
+                        digest = row.get("sum")
                         record = (
                             str(row["command"]),
                             tuple(str(tag) for tag in row["tags"]),
                             float(row["created"]),
+                            str(digest) if digest is not None else None,
                         )
                     except (ValueError, KeyError, TypeError):
                         dirty = True  # torn append / partial write
@@ -338,18 +376,26 @@ class FileStore(ProfileStore):
         live = set(names)
         if set(known) - live:
             dirty = True  # deleted profiles left stale journal lines
+        # Adopt the journal's integrity digests before any payload read
+        # below, so healing verifies against them where they exist.
+        for name, record in known.items():
+            if record[3] is not None and name in live:
+                self._sums.setdefault(f"{group.name}/{name}", record[3])
         missing = [name for name in names if name not in known]
-        healed: dict[str, tuple[str, tuple[str, ...], float]] = {}
+        healed: dict[str, tuple[str, tuple[str, ...], float, str | None]] = {}
         for name in missing:
             # Only the index fields are needed — read them off the raw
             # document instead of deserialising every sample.  Healing
             # goes through the payload cache so a follow-up ``get`` of
-            # the same profile reuses this parse.
-            doc = self._cached_doc(f"{group.name}/{name}")
+            # the same profile reuses this parse (and records the file's
+            # digest, journal-appended with the healed line).
+            pid = f"{group.name}/{name}"
+            doc = self._cached_doc(pid)
             healed[name] = (
                 str(doc["command"]),
                 tuple(str(tag) for tag in doc.get("tags", ())),
                 float(doc.get("created", 0.0)),
+                self._sums.get(pid),
             )
         if not live:
             # Garbage-collect a dead group (every profile deleted — e.g.
@@ -378,11 +424,13 @@ class FileStore(ProfileStore):
         return index
 
     def _journal_append_records(
-        self, group: Path, records: Mapping[str, tuple[str, tuple[str, ...], float]]
+        self,
+        group: Path,
+        records: Mapping[str, tuple[str, tuple[str, ...], float, str | None]],
     ) -> None:
         lines = "".join(
-            self._journal_line(f"{group.name}/{name}", command, tags, created)
-            for name, (command, tags, created) in records.items()
+            self._journal_line(f"{group.name}/{name}", command, tags, created, digest)
+            for name, (command, tags, created, digest) in records.items()
         )
         try:
             with open(group / INDEX_NAME, "a", encoding="utf-8") as handle:
@@ -391,7 +439,9 @@ class FileStore(ProfileStore):
             pass
 
     def _journal_rewrite(
-        self, group: Path, records: Mapping[str, tuple[str, tuple[str, ...], float]]
+        self,
+        group: Path,
+        records: Mapping[str, tuple[str, tuple[str, ...], float, str | None]],
     ) -> None:
         """Atomically compact the journal to exactly the live records.
 
@@ -402,9 +452,11 @@ class FileStore(ProfileStore):
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
                 for name in sorted(records):
-                    command, tags, created = records[name]
+                    command, tags, created, digest = records[name]
                     handle.write(
-                        self._journal_line(f"{group.name}/{name}", command, tags, created)
+                        self._journal_line(
+                            f"{group.name}/{name}", command, tags, created, digest
+                        )
                     )
             os.replace(tmp, group / INDEX_NAME)
         except OSError:
@@ -455,15 +507,43 @@ class FileStore(ProfileStore):
 
     # -- payload plane --------------------------------------------------------
 
-    def _read_doc(self, path: Path) -> dict[str, Any]:
+    def _read_doc(self, pid: str, path: Path) -> dict[str, Any]:
+        """Read + integrity-check + parse one profile file.
+
+        The file's bytes are re-hashed against the digest the sidecar
+        journal (or this store's own ``put``) recorded; a mismatch is
+        **fatal** — re-reading corrupt bytes returns the same corrupt
+        bytes — so it raises :class:`CorruptArtifactError` instead of a
+        retryable :class:`StoreError`.  Files without a recorded digest
+        (journals predating the ``sum`` field) adopt the computed one,
+        pinning all subsequent reads.
+        """
         try:
-            with open(path, encoding="utf-8") as handle:
-                return json.load(handle)
+            with open(path, "rb") as handle:
+                data = handle.read()
         except FileNotFoundError as exc:
             raise StoreError(
                 f"no stored profile {str(path.relative_to(self.root))!r}"
             ) from exc
-        except (OSError, json.JSONDecodeError) as exc:
+        except OSError as exc:
+            raise StoreError(f"corrupt profile file {path}: {exc}") from exc
+        actual = _payload_sum(data)
+        expected = self._sums.get(pid)
+        if expected is None:
+            self._sums[pid] = actual
+        elif actual != expected:
+            get_registry().inc("store.corrupt")
+            get_bus().event(
+                "store.corrupt", level="error", id=pid,
+                expected=expected, actual=actual,
+            )
+            raise CorruptArtifactError(
+                f"stored profile {pid!r} failed its integrity check: journal "
+                f"recorded blake2b {expected}, file bytes hash to {actual}"
+            )
+        try:
+            return json.loads(data)
+        except (ValueError, UnicodeDecodeError) as exc:
             raise StoreError(f"corrupt profile file {path}: {exc}") from exc
 
     def _cached_doc(self, pid: str) -> dict[str, Any]:
@@ -471,9 +551,10 @@ class FileStore(ProfileStore):
 
         Profile files never change in place (writes are rename-only), so
         a ``(mtime_ns, size)`` stat signature decides reuse: a match
-        skips open+parse entirely; any mismatch — or a replaced file —
-        re-reads and refreshes the cache.  Callers must not mutate the
-        returned document (``Profile.from_dict`` copies what it keeps).
+        skips open+parse (and integrity verification) entirely; any
+        mismatch — or a replaced file — re-reads, re-verifies and
+        refreshes the cache.  Callers must not mutate the returned
+        document (``Profile.from_dict`` copies what it keeps).
         """
         path = self.root / pid
         try:
@@ -488,7 +569,17 @@ class FileStore(ProfileStore):
                 get_registry().inc("store.payload.hit")
                 return cached[1]
         get_registry().inc("store.payload.miss")
-        doc = self._read_doc(path)
+        # A direct ``get`` of an id this store never wrote or indexed
+        # (cross-process reads) loads the group journal first so its
+        # recorded digest — not trust-on-first-read — judges the bytes.
+        gname = pid.partition("/")[0]
+        if (
+            pid not in self._sums
+            and gname not in self._groups
+            and gname not in self._loading
+        ):
+            self._group_index(gname)
+        doc = self._read_doc(pid, path)
         if sig is not None:
             self._payloads[pid] = (sig, doc)
             self._payloads.move_to_end(pid)

@@ -116,6 +116,73 @@ class TestShardFlag:
         assert "--report does not execute" in capsys.readouterr().err
 
 
+class TestElasticFlag:
+    def test_elastic_runs_and_reports_waves(self, tmp_path):
+        store = f"file://{tmp_path / 'store'}"
+        summary = tmp_path / "summary.json"
+        code, text = run_cli(
+            "--store", store, "campaign", _spec_file(tmp_path),
+            "--elastic", "--lease-ttl", "5", "--json", str(summary),
+        )
+        assert code == 0
+        assert "wave 1:" in text and "completed 4/4" in text
+        doc = json.loads(summary.read_text(encoding="utf-8"))
+        assert doc["executed"] == 4 and doc["complete"]
+
+    def test_join_attaches_to_converged_campaign(self, tmp_path):
+        store = f"file://{tmp_path / 'store'}"
+        spec = _spec_file(tmp_path)
+        assert run_cli("--store", store, "campaign", spec, "--elastic")[0] == 0
+        summary = tmp_path / "late.json"
+        code, _ = run_cli(
+            "--store", store, "campaign", spec,
+            "--elastic", "--join", "late", "--json", str(summary),
+        )
+        assert code == 0
+        doc = json.loads(summary.read_text(encoding="utf-8"))
+        assert doc["executed"] == 0 and doc["skipped"] == 4
+        assert doc["complete"]
+
+    def test_workers_spawn_a_local_fleet(self, tmp_path):
+        store = f"file://{tmp_path / 'store'}"
+        summary = tmp_path / "fleet.json"
+        code, _ = run_cli(
+            "--store", store, "campaign", _spec_file(tmp_path),
+            "--elastic", "--workers", "2", "--json", str(summary),
+        )
+        assert code == 0
+        doc = json.loads(summary.read_text(encoding="utf-8"))
+        assert doc["executed"] == 4 and doc["complete"]
+
+    def test_fleet_rejects_process_private_store(self, tmp_path):
+        code, _ = run_cli(
+            "--store", "memory://", "campaign", _spec_file(tmp_path),
+            "--elastic", "--workers", "2",
+        )
+        assert code == 1
+
+    def test_elastic_flag_validation(self, tmp_path, capsys):
+        spec = _spec_file(tmp_path)
+        code, _ = run_cli("campaign", spec, "--elastic", "--shard", "0/2")
+        assert code == 2
+        assert "leases supersede claims" in capsys.readouterr().err
+        code, _ = run_cli("campaign", spec, "--workers", "2")
+        assert code == 2
+        assert "require --elastic" in capsys.readouterr().err
+        code, _ = run_cli(
+            "campaign", spec, "--elastic", "--workers", "2", "--join", "x"
+        )
+        assert code == 2
+        assert "pick one" in capsys.readouterr().err
+        code, _ = run_cli(
+            "campaign", spec, "--elastic", "--workers", "2", "--limit", "1"
+        )
+        assert code == 2
+        code, _ = run_cli("campaign", spec, "--report", "--elastic")
+        assert code == 2
+        assert "--report does not execute" in capsys.readouterr().err
+
+
 class TestCampaignReport:
     def _finished(self, tmp_path) -> tuple[str, str]:
         store = f"file://{tmp_path / 'store'}"

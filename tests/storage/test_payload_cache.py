@@ -56,15 +56,20 @@ def test_cache_invalidated_on_file_replacement(store):
     [pid] = store.put_many([make_profile(command="mut")])
     assert store.get_many([pid])[0].n_samples == 3
     # Replace the file on disk behind the store's back with a different
-    # mtime/size — the stat signature mismatch must force a re-read.
+    # mtime/size — the stat signature mismatch must force a re-read,
+    # which now trips the integrity check (the replaced bytes no longer
+    # hash to the digest recorded at put time).
     path = store.root / pid
     replacement = make_profile(command="mut", n_samples=7)
     import json
 
+    from repro.core.errors import CorruptArtifactError
+
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(replacement.to_dict(), handle)
     os.utime(path, ns=(1, 1))
-    assert store.get_many([pid])[0].n_samples == 7
+    with pytest.raises(CorruptArtifactError):
+        store.get_many([pid])
 
 
 def test_delete_evicts_cached_payload(store):

@@ -159,9 +159,16 @@ class TestFileStoreSidecarIndex:
         group = (tmp_path / "p" / pid).parent
         lines = [json.loads(line) for line in
                  (group / INDEX_NAME).read_text().splitlines()]
-        assert lines == [{
+        [line] = lines
+        digest = line.pop("sum")
+        assert line == {
             "id": pid, "command": "app x", "tags": ["k=1"], "created": 5.0,
-        }]
+        }
+        # The recorded digest is the blake2b-128 of the payload bytes.
+        import hashlib
+
+        data = (tmp_path / "p" / pid).read_bytes()
+        assert digest == hashlib.blake2b(data, digest_size=16).hexdigest()
 
     def test_second_writer_invalidates_cached_index(self, tmp_path):
         """Writer B appends to a group after writer A cached its index;
@@ -260,9 +267,9 @@ class TestFileStoreSidecarIndex:
         opened = []
         original = FileStore._read_doc
 
-        def counting(self, path):
+        def counting(self, pid, path):
             opened.append(path)
-            return original(self, path)
+            return original(self, pid, path)
 
         monkeypatch.setattr(FileStore, "_read_doc", counting)
         assert fresh.get("app x").created == 4.0
